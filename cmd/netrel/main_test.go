@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseTerminals(t *testing.T) {
+	got, err := parseTerminals("0, 5,17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 0 || got[1] != 5 || got[2] != 17 {
+		t.Fatalf("parsed %v", got)
+	}
+	if _, err := parseTerminals(""); err == nil {
+		t.Error("empty spec accepted")
+	}
+	if _, err := parseTerminals("1,x"); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.tsv")
+	content := "n 3\n0 1 0.5\n1 2 0.5\n0 2 0.5\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range []string{"pro", "proNoExt", "mc", "ht", "exact", "bdd", "factor"} {
+		if err := run(path, "0,1", method, 1000, 1000, 1, false); err != nil {
+			t.Errorf("method %s: %v", method, err)
+		}
+	}
+	if err := run(path, "0,1", "bogus", 10, 10, 1, false); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if err := run(filepath.Join(dir, "missing.tsv"), "0,1", "mc", 10, 10, 1, false); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run(path, "0,1", "exact", 10, 100000, 1, true); err != nil {
+		t.Errorf("verbose run failed: %v", err)
+	}
+}

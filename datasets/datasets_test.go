@@ -1,0 +1,246 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+
+	"netrel"
+)
+
+func TestKarateShape(t *testing.T) {
+	g := Karate(1)
+	if g.N() != 34 || g.M() != 78 {
+		t.Fatalf("karate is %d/%d, want 34/78", g.N(), g.M())
+	}
+	if !g.Connected() {
+		t.Fatal("karate must be connected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Table 2: average degree 4.59.
+	if math.Abs(g.AvgDegree()-4.59) > 0.01 {
+		t.Fatalf("avg degree %v, want ≈4.59", g.AvgDegree())
+	}
+	// Vertex 33 (the instructor) has degree 17 in the real data.
+	deg := make([]int, 34)
+	for _, e := range g.Edges() {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	if deg[33] != 17 || deg[0] != 16 {
+		t.Fatalf("hub degrees %d/%d, want 17/16", deg[33], deg[0])
+	}
+}
+
+func TestKarateDeterministicPerSeed(t *testing.T) {
+	a, b := Karate(7), Karate(7)
+	for i := range a.Edges() {
+		if a.Edge(i) != b.Edge(i) {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+	c := Karate(8)
+	same := true
+	for i := range a.Edges() {
+		if a.Edge(i) != c.Edge(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical probabilities")
+	}
+}
+
+func TestAmericanRevolutionShape(t *testing.T) {
+	g := AmericanRevolution(3)
+	if g.N() != 141 || g.M() != 160 {
+		t.Fatalf("Am-Rv is %d/%d, want 141/160", g.N(), g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Bipartite: every edge joins a person (<136) and an org (≥136).
+	for _, e := range g.Edges() {
+		p, o := e.U, e.V
+		if p > o {
+			p, o = o, p
+		}
+		if p >= 136 || o < 136 {
+			t.Fatalf("edge %v not bipartite", e)
+		}
+	}
+	// Table 2: average degree 2.27. Allow a loose band: the tree-like
+	// structure, not the exact value, is what matters.
+	if g.AvgDegree() < 2 || g.AvgDegree() > 2.5 {
+		t.Fatalf("avg degree %v outside [2, 2.5]", g.AvgDegree())
+	}
+}
+
+func TestGenerateCatalogSmall(t *testing.T) {
+	for _, info := range Catalog() {
+		g, err := Generate(info.Abbr, Small, 11)
+		if err != nil {
+			t.Fatalf("%s: %v", info.Abbr, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", info.Abbr, err)
+		}
+		if g.N() < 16 || g.M() < g.N()-1 {
+			t.Fatalf("%s: degenerate shape %d/%d", info.Abbr, g.N(), g.M())
+		}
+		if !g.Connected() {
+			t.Fatalf("%s: not connected", info.Abbr)
+		}
+		p := g.AvgProb()
+		if p <= 0 || p > 1 {
+			t.Fatalf("%s: avg prob %v", info.Abbr, p)
+		}
+	}
+	if _, err := Generate("nope", Small, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestScaleOrdering(t *testing.T) {
+	s, err := Generate("Tokyo", Small, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Generate("Tokyo", Medium, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() >= m.N() || s.M() >= m.M() {
+		t.Fatalf("small %d/%d not smaller than medium %d/%d", s.N(), s.M(), m.N(), m.M())
+	}
+}
+
+func TestDBLPProbabilityFormulaRange(t *testing.T) {
+	g, err := DBLP(500, 2000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p = log(α+1)/log(αM+2) with α ∈ [1, αM]: all probabilities within
+	// [log2/log(αM+2), log(αM+1)/log(αM+2)].
+	lo := math.Log(2) / math.Log(MaxCoauthorPapers+2)
+	for _, e := range g.Edges() {
+		if e.P < lo-1e-9 || e.P > 1 {
+			t.Fatalf("probability %v outside DBLP formula range", e.P)
+		}
+	}
+	// Table 2 reports low averages (≈0.2) for DBLP.
+	if g.AvgProb() < 0.1 || g.AvgProb() > 0.35 {
+		t.Fatalf("avg prob %v outside DBLP band", g.AvgProb())
+	}
+}
+
+func TestRoadNetworkNearPlanarDegree(t *testing.T) {
+	g, err := RoadNetwork(1300, 1600, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 2: road networks have avg degree ≈2.3–2.5.
+	if g.AvgDegree() < 2 || g.AvgDegree() > 2.7 {
+		t.Fatalf("avg degree %v outside road band", g.AvgDegree())
+	}
+	if !g.Connected() {
+		t.Fatal("road network must be connected")
+	}
+}
+
+func TestProteinDenseDegree(t *testing.T) {
+	g, err := Protein(900, 12400, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full-scale Hit-d has avg degree 27; the scaled version keeps the
+	// density ratio ≈ 2m/n.
+	want := 2 * 12400.0 / 900
+	if math.Abs(g.AvgDegree()-want) > want/4 {
+		t.Fatalf("avg degree %v, want ≈%v", g.AvgDegree(), want)
+	}
+}
+
+func TestGeneratorErrors(t *testing.T) {
+	if _, err := DBLP(1, 5, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := DBLP(10, 3, 1); err == nil {
+		t.Error("m<n-1 accepted")
+	}
+	if _, err := RoadNetwork(2, 5, 1); err == nil {
+		t.Error("tiny road network accepted")
+	}
+}
+
+func TestRandomTerminals(t *testing.T) {
+	g := Karate(1)
+	ts, err := RandomTerminals(g, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 5 {
+		t.Fatalf("got %d terminals", len(ts))
+	}
+	seen := map[int]bool{}
+	for _, v := range ts {
+		if v < 0 || v >= g.N() || seen[v] {
+			t.Fatalf("bad terminal %d", v)
+		}
+		seen[v] = true
+	}
+	ts2, _ := RandomTerminals(g, 5, 42)
+	for i := range ts {
+		if ts[i] != ts2[i] {
+			t.Fatal("terminals not deterministic per seed")
+		}
+	}
+	if _, err := RandomTerminals(g, 0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := RandomTerminals(g, 99, 1); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestKarateExactReliabilityComputable(t *testing.T) {
+	// The paper computes exact reliability on Karate; our pipeline must
+	// manage it too (this also pins the integration end to end).
+	g := Karate(2)
+	ts, err := RandomTerminals(g, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := netrel.Exact(g, ts, netrel.WithMaxWidth(200000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatal("karate exact run did not report exact")
+	}
+	if res.Reliability < 0 || res.Reliability > 1 {
+		t.Fatalf("R = %v", res.Reliability)
+	}
+	// Cross-check with the plain sampler.
+	mc, err := netrel.MonteCarlo(g, ts, netrel.WithSamples(200000), netrel.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mc.Reliability-res.Reliability) > 0.01 {
+		t.Fatalf("MC %v vs exact %v", mc.Reliability, res.Reliability)
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for _, s := range []Scale{Small, Medium, Full} {
+		got, err := ParseScale(s.String())
+		if err != nil || got != s {
+			t.Fatalf("round trip %v: %v %v", s, got, err)
+		}
+	}
+	if _, err := ParseScale("big"); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+}

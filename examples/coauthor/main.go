@@ -1,0 +1,79 @@
+// Collaboration strength in a co-authorship network: the paper's DBLP
+// scenario. Edges connect authors who have co-authored; the edge
+// probability log(α+1)/log(αM+2) grows with the number of joint papers α.
+// The k-terminal reliability among a group of authors measures how strongly
+// the group is tied together through the collaboration fabric — a
+// probabilistic generalization of "are they all in one community".
+//
+// Run with:
+//
+//	go run ./examples/coauthor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"netrel"
+	"netrel/datasets"
+)
+
+func main() {
+	g, err := datasets.DBLP(1200, 5000, 13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("co-authorship network: %d authors, %d collaborations (avg tie strength %.2f)\n\n",
+		g.N(), g.M(), g.AvgProb())
+
+	// Compare the cohesion of research groups of growing size. As groups
+	// grow, the probability that every member is transitively connected
+	// drops — the k-terminal reliability quantifies by how much.
+	fmt.Println("group cohesion by size (same seed pool of authors):")
+	for k := 2; k <= 6; k++ {
+		group, err := datasets.RandomTerminals(g, k, 21)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := netrel.Reliability(g, group,
+			netrel.WithSamples(20000), netrel.WithSeed(2))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  k=%d authors %v: R̂ = %.4f\n", k, group, res.Reliability)
+	}
+
+	// Estimator comparison on one group: the Horvitz–Thompson estimator
+	// weights sampled worlds by inverse inclusion probability; the paper
+	// finds it statistically close to Monte Carlo under sampling with
+	// replacement (Section 7.6).
+	group, err := datasets.RandomTerminals(g, 4, 33)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nestimator comparison for group %v:\n", group)
+	for name, opt := range map[string]netrel.Option{
+		"Monte Carlo      ": netrel.WithEstimator(netrel.EstimatorMonteCarlo),
+		"Horvitz–Thompson ": netrel.WithEstimator(netrel.EstimatorHorvitzThompson),
+	} {
+		res, err := netrel.Reliability(g, group,
+			netrel.WithSamples(20000), netrel.WithSeed(4), opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s R̂ = %.4f  (variance bound %.2g)\n", name, res.Reliability, res.Variance)
+	}
+
+	// The extension technique's effect on this graph: co-authorship
+	// networks have a dense core, so the reduction is modest (the paper's
+	// Table 5 reports ratio 0.946 for DBLP1).
+	res, err := netrel.Reliability(g, group,
+		netrel.WithSamples(1000), netrel.WithSeed(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Preprocess != nil {
+		fmt.Printf("\nextension technique: largest subproblem keeps %.0f%% of edges (prep %v)\n",
+			100*res.Preprocess.ReducedRatio, res.Preprocess.Duration)
+	}
+}

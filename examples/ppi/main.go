@@ -1,0 +1,105 @@
+// Protein-complex reliability: the application from the paper's
+// introduction. Protein-protein interactions are observed with confidence
+// scores; a putative protein complex is plausible when its members are
+// likely to be mutually connected in the interaction network. This example
+// scores candidate complexes by network reliability — exactly the
+// methodology of Asthana et al. (Genome Research 2004) that the paper cites.
+//
+// Run with:
+//
+//	go run ./examples/ppi
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"netrel"
+	"netrel/datasets"
+)
+
+func main() {
+	// A synthetic stand-in for the HINT Hit-direct interaction network
+	// (same degree structure and score distribution; see the datasets
+	// package). Vertices are proteins, edge probabilities are interaction
+	// confidence scores.
+	g, err := datasets.Protein(600, 8000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("interaction network: %d proteins, %d scored interactions (avg score %.2f)\n\n",
+		g.N(), g.M(), g.AvgProb())
+
+	// Candidate complexes: hypothesized groups of proteins. In a real
+	// pipeline these come from clustering or pull-down assays; here we draw
+	// groups of different sizes and cohesion.
+	type complexCandidate struct {
+		name    string
+		members []int
+	}
+	candidates := []complexCandidate{}
+	for i := 0; i < 6; i++ {
+		size := 3 + i
+		members, err := datasets.RandomTerminals(g, size, uint64(100+i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		candidates = append(candidates, complexCandidate{
+			name:    fmt.Sprintf("complex-%c (%d proteins)", 'A'+i, size),
+			members: members,
+		})
+	}
+
+	// Score each candidate: the probability that all members interact,
+	// directly or through intermediate proteins.
+	type scored struct {
+		complexCandidate
+		reliability float64
+		lower       float64
+		upper       float64
+	}
+	results := make([]scored, 0, len(candidates))
+	for _, c := range candidates {
+		res, err := netrel.Reliability(g, c.members,
+			netrel.WithSamples(20000),
+			netrel.WithSeed(11),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, scored{c, res.Reliability, res.Lower, res.Upper})
+	}
+	sort.Slice(results, func(i, j int) bool {
+		return results[i].reliability > results[j].reliability
+	})
+
+	fmt.Println("candidate complexes ranked by connection reliability:")
+	for rank, r := range results {
+		fmt.Printf("%d. %-24s R̂ = %.4f   (proven bounds [%.4f, %.4f])\n",
+			rank+1, r.name, r.reliability, r.lower, r.upper)
+	}
+
+	// For the top candidate, identify its weakest member: the protein whose
+	// removal from the complex raises the reliability most is the least
+	// integrated one.
+	top := results[0]
+	if len(top.members) > 2 {
+		fmt.Printf("\nweakest-member analysis for %s:\n", top.name)
+		for drop := range top.members {
+			reduced := make([]int, 0, len(top.members)-1)
+			for j, m := range top.members {
+				if j != drop {
+					reduced = append(reduced, m)
+				}
+			}
+			res, err := netrel.Reliability(g, reduced,
+				netrel.WithSamples(20000), netrel.WithSeed(11))
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  without protein %4d: R̂ = %.4f (Δ %+.4f)\n",
+				top.members[drop], res.Reliability, res.Reliability-top.reliability)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Road-network resilience: the urban-planning application the paper cites
+// (Hamer et al., value of transport reliability). Road segments fail with
+// probabilities derived from their length; the reliability among a set of
+// critical facilities (hospitals, depots) measures how likely the network
+// keeps them mutually reachable — e.g. under storm-damage modelling.
+//
+// Road networks are the paper's best case: near-planar structure keeps the
+// S2BDD frontier narrow, the bounds converge quickly, and the approach is
+// up to an order of magnitude faster than plain sampling at equal accuracy.
+//
+// Run with:
+//
+//	go run ./examples/roadnetwork
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"netrel"
+	"netrel/datasets"
+)
+
+func main() {
+	// A synthetic city road network (the Tokyo stand-in at small scale).
+	// The generator's probabilities model the paper's length-derived
+	// formula; for a storm-damage scenario we map them to survival
+	// probabilities: long segments (low formula value) are the exposed
+	// ones, but even those survive most storms.
+	base, err := datasets.RoadNetwork(1300, 1600, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := netrel.NewGraph(base.N())
+	for _, e := range base.Edges() {
+		if err := g.AddEdge(e.U, e.V, 0.80+0.19*e.P); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("road network: %d junctions, %d segments (avg storm survival %.2f)\n\n",
+		g.N(), g.M(), g.AvgProb())
+
+	// Five critical facilities placed around the city.
+	facilities, err := datasets.RandomTerminals(g, 5, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("facilities at junctions %v\n\n", facilities)
+
+	// The paper's approach against the sampling baseline, same budget.
+	start := time.Now()
+	pro, err := netrel.Reliability(g, facilities,
+		netrel.WithSamples(50000), netrel.WithSeed(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	proTime := time.Since(start)
+
+	start = time.Now()
+	mc, err := netrel.MonteCarlo(g, facilities,
+		netrel.WithSamples(50000), netrel.WithSeed(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	mcTime := time.Since(start)
+
+	fmt.Printf("S2BDD:       R̂ = %.6f in %-12v (bounds [%.6f, %.6f], s'=%d of %d)\n",
+		pro.Reliability, proTime, pro.Lower, pro.Upper,
+		pro.SamplesReduced, pro.SamplesRequested)
+	fmt.Printf("Monte Carlo: R̂ = %.6f in %-12v\n\n", mc.Reliability, mcTime)
+	if mcTime > 0 {
+		fmt.Printf("speedup at equal budget: %.1fx\n\n", float64(mcTime)/float64(proTime))
+	}
+
+	// Planning what-if: upgrade the most fragile segments (lowest
+	// availability) to 0.995 and re-evaluate.
+	upgraded := netrel.NewGraph(g.N())
+	upgradedCount := 0
+	for _, e := range g.Edges() {
+		p := e.P
+		if p < 0.87 {
+			p = 0.995
+			upgradedCount++
+		}
+		if err := upgraded.AddEdge(e.U, e.V, p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	after, err := netrel.Reliability(upgraded, facilities,
+		netrel.WithSamples(50000), netrel.WithSeed(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after upgrading %d fragile segments: R̂ = %.6f (was %.6f)\n",
+		upgradedCount, after.Reliability, pro.Reliability)
+}

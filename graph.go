@@ -1,0 +1,98 @@
+package netrel
+
+import (
+	"io"
+
+	"netrel/internal/ugraph"
+)
+
+// Edge is an uncertain edge between vertices U and V that exists with
+// probability P ∈ (0, 1].
+type Edge struct {
+	U, V int
+	P    float64
+}
+
+// Graph is an undirected uncertain graph: every edge exists independently
+// with its own probability. Build one with NewGraph/AddEdge, FromEdges, or
+// ReadGraph.
+type Graph struct {
+	g *ugraph.Graph
+}
+
+// NewGraph returns an empty uncertain graph over n vertices 0..n-1.
+func NewGraph(n int) *Graph {
+	return &Graph{g: ugraph.New(n)}
+}
+
+// FromEdges builds a graph over n vertices from an edge list.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	g := NewGraph(n)
+	for _, e := range edges {
+		if err := g.AddEdge(e.U, e.V, e.P); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// AddEdge appends an uncertain edge. Probabilities must lie in (0,1]; an
+// edge that can never exist is simply omitted from the graph.
+func (g *Graph) AddEdge(u, v int, p float64) error {
+	_, err := g.g.AddEdge(u, v, p)
+	return err
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.g.N() }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.g.M() }
+
+// Edge returns the i-th edge.
+func (g *Graph) Edge(i int) Edge {
+	e := g.g.Edge(i)
+	return Edge{U: e.U, V: e.V, P: e.P}
+}
+
+// Edges returns a copy of the edge list.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, g.M())
+	for i := range out {
+		out[i] = g.Edge(i)
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph { return &Graph{g: g.g.Clone()} }
+
+// AvgDegree returns 2|E|/|V|.
+func (g *Graph) AvgDegree() float64 { return g.g.AvgDegree() }
+
+// AvgProb returns the mean edge probability.
+func (g *Graph) AvgProb() float64 { return g.g.AvgProb() }
+
+// Connected reports whether the graph is connected when every edge exists.
+func (g *Graph) Connected() bool { return g.g.Connected() }
+
+// Validate checks structural invariants (no self-loops, probabilities in
+// range).
+func (g *Graph) Validate() error { return g.g.Validate() }
+
+// ReadGraph parses a graph from r in the TSV format written by Write:
+// an "n <count>" header followed by "u v p" lines; '#' starts a comment.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	g, err := ugraph.ReadTSV(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// Write serializes the graph to w in the format accepted by ReadGraph.
+func (g *Graph) Write(w io.Writer) error { return ugraph.WriteTSV(w, g.g) }
+
+// internal returns the underlying representation for sibling packages in
+// this module (examples and cmd binaries use only the public API).
+func (g *Graph) internal() *ugraph.Graph { return g.g }

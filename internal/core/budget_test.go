@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"netrel/internal/exact"
+	"netrel/internal/ugraph"
+)
+
+// TestWorkBudgetFlushes verifies the construction work budget: with a tiny
+// sample budget the budget is tiny too, so construction must flush after a
+// handful of layers instead of walking the whole graph.
+func TestWorkBudgetFlushes(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 3))
+	g := randConnected(r, 300, 900)
+	perm := r.Perm(300)
+	ts, _ := ugraph.NewTerminals(g, perm[:5])
+	res, err := Compute(g, ts, Config{
+		MaxWidth: 10000, Samples: 10, Seed: 1,
+		// Stall rule made inert so only the work budget can flush.
+		StallWindow: 1 << 20, StallThreshold: 1e-300,
+		Order: bfsOrder(g, ts),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Flushed {
+		t.Fatal("work budget did not flush")
+	}
+	if res.LayersProcessed >= g.M()/2 {
+		t.Fatalf("flush too late: %d of %d layers", res.LayersProcessed, g.M())
+	}
+}
+
+// TestWorkBudgetScalesWithSamples: more samples buy more construction.
+func TestWorkBudgetScalesWithSamples(t *testing.T) {
+	r := rand.New(rand.NewPCG(5, 8))
+	g := randConnected(r, 300, 900)
+	perm := r.Perm(300)
+	ts, _ := ugraph.NewTerminals(g, perm[:5])
+	layers := func(samples int) int {
+		res, err := Compute(g, ts, Config{
+			MaxWidth: 256, Samples: samples, Seed: 1,
+			StallWindow: 1 << 20, StallThreshold: 1e-300,
+			Order: bfsOrder(g, ts),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.LayersProcessed
+	}
+	small, large := layers(20), layers(5000)
+	if large < small {
+		t.Fatalf("larger budget built fewer layers: %d vs %d", large, small)
+	}
+}
+
+// TestPoolingPreservesCorrectness reruns the exact cross-check with a width
+// that exercises heavy deletion (and therefore heavy pool reuse), comparing
+// the estimator's mean against brute force.
+func TestPoolingPreservesCorrectness(t *testing.T) {
+	r := rand.New(rand.NewPCG(17, 23))
+	g := randConnected(r, 9, 9)
+	perm := r.Perm(9)
+	ts, _ := ugraph.NewTerminals(g, perm[:3])
+	want, err := exact.BruteForce(g, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ord := bfsOrder(g, ts)
+	const runs = 250
+	sum := 0.0
+	for i := 0; i < runs; i++ {
+		res, err := Compute(g, ts, Config{
+			MaxWidth: 3, Samples: 80, Seed: uint64(i), Order: ord,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Lower > want.Float64()+1e-9 || res.Upper < want.Float64()-1e-9 {
+			t.Fatalf("run %d: bounds [%v,%v] miss exact %v", i, res.Lower, res.Upper, want.Float64())
+		}
+		sum += res.Estimate
+	}
+	mean := sum / runs
+	if math.Abs(mean-want.Float64()) > 0.12 {
+		t.Fatalf("mean %v vs exact %v under heavy pooling", mean, want.Float64())
+	}
+}
+
+// TestStatesDoNotAliasAfterPooling: two consecutive runs on the same graph
+// must give identical results — pooled storage must never leak state
+// between runs (each run owns its pool).
+func TestStatesDoNotAliasAfterPooling(t *testing.T) {
+	r := rand.New(rand.NewPCG(29, 31))
+	g := randConnected(r, 40, 60)
+	ts, _ := ugraph.NewTerminals(g, []int{0, 20, 39})
+	cfg := Config{MaxWidth: 8, Samples: 500, Seed: 77, Order: bfsOrder(g, ts)}
+	a, err := Compute(g, ts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		b, err := Compute(g, ts, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Estimate != b.Estimate || a.Lower != b.Lower || a.SamplesUsed != b.SamplesUsed {
+			t.Fatalf("repeat run diverged: %+v vs %+v", a, b)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math/rand/v2"
+
+	"netrel/internal/frontier"
+	"netrel/internal/ugraph"
+	"netrel/internal/unionfind"
+	"netrel/internal/xfloat"
+)
+
+// completer draws possible-graph completions of an intermediate graph — the
+// dynamic-programming sub-problem of Section 4.3.3. A node state at layer l
+// fixes the processed edges' effect as a component partition; a completion
+// instantiates the remaining edges (positions ≥ l) and tests whether all
+// terminal-carrying components and still-unseen terminals coalesce.
+type completer struct {
+	plan *frontier.Plan
+	g    *ugraph.Graph
+	rng  *rand.Rand
+
+	// uf works over n vertex elements plus one element per node component
+	// (ids n..n+maxComps-1). Untouched vertices use their own element;
+	// frontier vertices are represented by their component's element.
+	uf    *unionfind.Arena
+	vslot []int32 // vertex → slot in F_layer, or -1
+	fr    []int32 // owned copy of the current layer's frontier
+	layer int
+}
+
+func newCompleter(plan *frontier.Plan, seed uint64) *completer {
+	g := plan.Graph()
+	c := &completer{
+		plan:  plan,
+		g:     g,
+		rng:   rand.New(rand.NewPCG(seed, 0x5851f42d4c957f2d)),
+		uf:    unionfind.NewArena(g.N() + plan.MaxFrontier() + 2),
+		vslot: make([]int32, g.N()),
+		layer: -1,
+	}
+	for i := range c.vslot {
+		c.vslot[i] = -1
+	}
+	return c
+}
+
+// setLayer switches the completer to node layer l with frontier f (in
+// canonical slot order), rebuilding the vertex→slot map. Completions are
+// grouped by layer to amortize this cost. The frontier is copied because
+// the driver reuses its buffer across layers.
+func (c *completer) setLayer(l int, f []int32) {
+	if c.layer == l {
+		return
+	}
+	for _, v := range c.fr {
+		c.vslot[v] = -1
+	}
+	c.fr = append(c.fr[:0], f...)
+	for slot, v := range c.fr {
+		c.vslot[v] = int32(slot)
+	}
+	c.layer = l
+}
+
+// elem maps a vertex to its union-find element given node state st.
+func (c *completer) elem(st *frontier.State, v int) int {
+	if s := c.vslot[v]; s >= 0 {
+		return c.g.N() + int(st.Comp[s])
+	}
+	return v
+}
+
+// complete draws one completion of st at the current layer. It returns
+// whether all terminals are connected in the completed possible graph, the
+// conditional probability of the drawn completion (product over remaining
+// edges), and a fingerprint of the completion's edge choices for HT
+// deduplication. needPr skips the probability product for the MC path.
+func (c *completer) complete(st *frontier.State, needPr bool) (connected bool, pr xfloat.F, fp uint64) {
+	c.uf.Reset()
+	pr = xfloat.One
+	const (
+		fnvOffset = 0xcbf29ce484222325
+		fnvPrime  = 0x100000001b3
+	)
+	fp = uint64(fnvOffset)
+	ord := c.plan.Order()
+	for pos := c.layer; pos < len(ord); pos++ {
+		e := c.g.Edge(ord[pos])
+		fp *= fnvPrime
+		if c.rng.Float64() < e.P {
+			fp ^= 1
+			if needPr {
+				pr = pr.MulFloat64(e.P)
+			}
+			c.uf.Union(c.elem(st, e.U), c.elem(st, e.V))
+		} else if needPr {
+			pr = pr.MulFloat64(1 - e.P)
+		}
+	}
+
+	// All flagged components and all unseen terminals must share one root.
+	anchor := -1
+	for comp, flagged := range st.Flag {
+		if !flagged {
+			continue
+		}
+		r := c.uf.Find(c.g.N() + comp)
+		if anchor == -1 {
+			anchor = r
+		} else if r != anchor {
+			return false, pr, fp
+		}
+	}
+	for _, t := range c.plan.UnseenTerms(c.layer) {
+		r := c.uf.Find(c.elem(st, int(t)))
+		if anchor == -1 {
+			anchor = r
+		} else if r != anchor {
+			return false, pr, fp
+		}
+	}
+	return true, pr, fp
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"netrel/internal/frontier"
+	"netrel/internal/ugraph"
+	"netrel/internal/xfloat"
+)
+
+// pathPlan builds a 0-1-2-3 path with terminals {0,3} and natural order.
+func pathPlan(t *testing.T) *frontier.Plan {
+	t.Helper()
+	g, err := ugraph.FromEdges(4, []ugraph.Edge{
+		{U: 0, V: 1, P: 0.5}, {U: 1, V: 2, P: 0.5}, {U: 2, V: 3, P: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, _ := ugraph.NewTerminals(g, []int{0, 3})
+	p, err := frontier.NewPlan(g, ts, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCompleterFromRoot(t *testing.T) {
+	// Completing the root state (layer 0) is plain Monte Carlo over the
+	// whole graph: the path connects 0 and 3 with probability 0.125.
+	p := pathPlan(t)
+	c := newCompleter(p, 1)
+	c.setLayer(0, nil)
+	root := p.Root()
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		ok, _, _ := c.complete(&root, false)
+		if ok {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.125) > 0.006 {
+		t.Fatalf("root completion rate %v, want 0.125±0.006", got)
+	}
+}
+
+func TestCompleterMidLayerConditional(t *testing.T) {
+	// State after edge 0 (position 0) taken existent: component {0,1}
+	// flagged (terminal 0 absorbed), frontier = {1}. Completion succeeds
+	// iff edges 1 and 2 both exist: probability 0.25.
+	p := pathPlan(t)
+	sc := frontier.NewScratch(p)
+	root := p.Root()
+	var st frontier.State
+	if out := p.Apply(0, &root, true, true, sc, &st); out != frontier.Live {
+		t.Fatalf("unexpected outcome %v", out)
+	}
+	c := newCompleter(p, 2)
+	c.setLayer(1, p.FrontierAt(1))
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		ok, _, _ := c.complete(&st, false)
+		if ok {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.25) > 0.008 {
+		t.Fatalf("conditional completion rate %v, want 0.25±0.008", got)
+	}
+}
+
+func TestCompleterProbabilityProduct(t *testing.T) {
+	// With needPr, the returned probability must be the product over the
+	// remaining edges — on the 3-edge path from the root, one of the 8
+	// values {0.125}.
+	p := pathPlan(t)
+	c := newCompleter(p, 3)
+	c.setLayer(0, nil)
+	root := p.Root()
+	for i := 0; i < 50; i++ {
+		_, pr, _ := c.complete(&root, true)
+		if math.Abs(pr.Float64()-0.125) > 1e-12 {
+			t.Fatalf("completion probability %v, want 0.125 (all edges p=0.5)", pr.Float64())
+		}
+	}
+}
+
+func TestCompleterFingerprintsDistinguishWorlds(t *testing.T) {
+	p := pathPlan(t)
+	c := newCompleter(p, 4)
+	c.setLayer(0, nil)
+	root := p.Root()
+	byFP := map[uint64]bool{}
+	for i := 0; i < 200; i++ {
+		ok, _, fp := c.complete(&root, false)
+		if prev, seen := byFP[fp]; seen && prev != ok {
+			t.Fatal("same fingerprint with different connectivity")
+		}
+		byFP[fp] = ok
+	}
+	if len(byFP) != 8 {
+		t.Fatalf("expected 8 distinct completions of a 3-edge graph, got %d", len(byFP))
+	}
+}
+
+func TestCompleterSetLayerSwitches(t *testing.T) {
+	// Switching layers must fully clear the old vertex→slot mapping.
+	p := pathPlan(t)
+	c := newCompleter(p, 5)
+	c.setLayer(1, p.FrontierAt(1))
+	c.setLayer(2, p.FrontierAt(2))
+	// Frontier at layer 2 is {2}; vertex 1 must no longer map to a slot.
+	if c.vslot[1] != -1 {
+		t.Fatalf("stale slot for vertex 1: %d", c.vslot[1])
+	}
+	if c.vslot[2] == -1 {
+		t.Fatal("vertex 2 missing from layer-2 slots")
+	}
+}
+
+func TestHeuristicPrefersTerminalHeavyNodes(t *testing.T) {
+	// Two synthetic nodes with equal mass: one with a terminal-carrying
+	// component, one without. h must rank the flagged one higher.
+	g, err := ugraph.FromEdges(4, []ugraph.Edge{
+		{U: 0, V: 1, P: 0.5}, {U: 1, V: 2, P: 0.5}, {U: 2, V: 3, P: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, _ := ugraph.NewTerminals(g, []int{0, 3})
+	plan, err := frontier.NewPlan(g, ts, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{}
+	cfg = cfg.withDefaults()
+	r := &run{
+		cfg:       cfg,
+		plan:      plan,
+		g:         g,
+		k:         2,
+		remaining: []int32{0, 1, 2, 1},
+	}
+	f := []int32{1} // frontier with one slot holding vertex 1
+	flagged := node{
+		state: frontier.State{Comp: []uint16{0}, Flag: []bool{true}, Tcnt: []uint16{1}},
+		p:     xfloat.FromFloat64(0.125),
+	}
+	unflagged := node{
+		state: frontier.State{Comp: []uint16{0}, Flag: []bool{false}, Tcnt: []uint16{0}},
+		p:     xfloat.FromFloat64(0.125),
+	}
+	if r.heuristic(f, &flagged) <= r.heuristic(f, &unflagged) {
+		t.Fatal("heuristic must prefer terminal-carrying nodes at equal mass")
+	}
+	// Heavier mass wins among equals.
+	heavy := flagged
+	heavy.p = heavy.p.MulFloat64(4)
+	if r.heuristic(f, &heavy) <= r.heuristic(f, &flagged) {
+		t.Fatal("heuristic must grow with node probability")
+	}
+}

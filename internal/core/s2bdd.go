@@ -1,0 +1,475 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"netrel/internal/estimator"
+	"netrel/internal/frontier"
+	"netrel/internal/ugraph"
+	"netrel/internal/xfloat"
+)
+
+// node is a live S2BDD node: a frontier state with its probability mass and
+// cached deletion priority (log-space h(n) of Equation 10).
+type node struct {
+	state frontier.State
+	p     xfloat.F
+	hLog  float64
+}
+
+// snapshot is a deleted node retained for stratified sampling.
+type snapshot struct {
+	state frontier.State
+	p     xfloat.F
+}
+
+// Compute runs the S2BDD on g with terminal set ts.
+func Compute(g *ugraph.Graph, ts ugraph.Terminals, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := g.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.Samples < 0 {
+		return Result{}, fmt.Errorf("core: negative sample count %d", cfg.Samples)
+	}
+	if len(ts) <= 1 {
+		return Result{
+			Estimate: 1, Lower: 1, Upper: 1,
+			LowerX: xfloat.One, EstimateX: xfloat.One, Exact: true,
+			SamplesRequested: cfg.Samples,
+		}, nil
+	}
+	ord := cfg.Order
+	if ord == nil {
+		ord = make([]int, g.M())
+		for i := range ord {
+			ord[i] = i
+		}
+	}
+	plan, err := frontier.NewPlan(g, ts, ord)
+	if err != nil {
+		return Result{}, err
+	}
+	r := &run{
+		cfg:   cfg,
+		plan:  plan,
+		g:     g,
+		k:     len(ts),
+		rng:   rand.New(rand.NewPCG(cfg.Seed, 0xa0761d6478bd642f)),
+		compl: newCompleter(plan, cfg.Seed^0x243f6a8885a308d3),
+	}
+	return r.execute()
+}
+
+// run carries the mutable state of one S2BDD execution.
+type run struct {
+	cfg  Config
+	plan *frontier.Plan
+	g    *ugraph.Graph
+	k    int
+
+	rng   *rand.Rand
+	compl *completer
+
+	pc xfloat.F // mass proven connected (1-sink)
+	pd xfloat.F // mass proven disconnected (0-sink)
+
+	// sampledMass is the total probability mass handed to strata;
+	// estSampled accumulates stratum contributions P_l·f̂_l (with
+	// inverse-allocation weighting), so R̂ = pc + estSampled.
+	sampledMass xfloat.F
+	estSampled  xfloat.F
+
+	remaining []int32 // per-vertex count of unprocessed incident edges
+
+	// pool recycles state storage between layers; construction creates and
+	// discards up to 2w states per layer, and reusing their slices removes
+	// the allocation churn from the hot loop.
+	pool []frontier.State
+
+	res Result
+}
+
+// takeState copies src into recycled storage (or fresh storage when the
+// pool is empty).
+func (r *run) takeState(src *frontier.State) frontier.State {
+	var s frontier.State
+	if n := len(r.pool); n > 0 {
+		s = r.pool[n-1]
+		r.pool = r.pool[:n-1]
+	}
+	s.Comp = append(s.Comp[:0], src.Comp...)
+	s.Flag = append(s.Flag[:0], src.Flag...)
+	s.Tcnt = append(s.Tcnt[:0], src.Tcnt...)
+	return s
+}
+
+// recycle returns state storage to the pool.
+func (r *run) recycle(states []snapshot) {
+	for i := range states {
+		r.pool = append(r.pool, states[i].state)
+	}
+}
+
+func (r *run) execute() (Result, error) {
+	cfg := &r.cfg
+	m := r.plan.M()
+	r.res.SamplesRequested = cfg.Samples
+
+	r.remaining = make([]int32, r.g.N())
+	for _, e := range r.g.Edges() {
+		r.remaining[e.U]++
+		r.remaining[e.V]++
+	}
+
+	sc := frontier.NewScratch(r.plan)
+	var scratch frontier.State
+	keyBuf := make([]byte, 0, 64)
+
+	nodes := []node{{state: r.plan.Root(), p: xfloat.One}}
+	r.res.NodesCreated = 1
+	r.res.PeakWidth = 1
+
+	// F_l maintained incrementally (the Plan stores only diffs).
+	curF := make([]int32, 0, r.plan.MaxFrontier())
+	nextF := make([]int32, 0, r.plan.MaxFrontier())
+
+	// Stall detection ring buffer of resolved-mass progress, plus the
+	// construction work budget (node-slot operations) derived from the
+	// sampling budget.
+	progress := make([]float64, cfg.StallWindow)
+	for i := range progress {
+		progress[i] = -1
+	}
+	work := 0.0
+	workBudget := math.Inf(1)
+	if cfg.Samples > 0 && !cfg.ExactOnly && !cfg.DisableStall {
+		workBudget = cfg.WorkFactor * float64(cfg.Samples) * float64(m)
+	}
+
+	flushed := false
+	index := make(map[string]int, 256)
+	for l := 0; l < m && len(nodes) > 0; l++ {
+		e := r.plan.EdgeAt(l)
+		clear(index)
+		next := make([]node, 0, min(2*len(nodes), cfg.MaxWidth))
+		var deleted []snapshot
+		deletedMass := xfloat.Zero
+
+		for i := range nodes {
+			n := &nodes[i]
+			for _, exists := range [2]bool{true, false} {
+				w := e.P
+				if !exists {
+					w = 1 - e.P
+				}
+				childP := n.p.MulFloat64(w)
+				switch r.plan.Apply(l, &n.state, exists, !cfg.DisableEarlyTermination, sc, &scratch) {
+				case frontier.OneSink:
+					r.pc = r.pc.Add(childP)
+				case frontier.ZeroSink:
+					r.pd = r.pd.Add(childP)
+				case frontier.Live:
+					keyBuf = scratch.Key(keyBuf[:0])
+					if j, ok := index[string(keyBuf)]; ok {
+						next[j].p = next[j].p.Add(childP)
+						r.res.NodesMerged++
+					} else if len(next) < cfg.MaxWidth {
+						index[string(keyBuf)] = len(next)
+						next = append(next, node{state: r.takeState(&scratch), p: childP})
+						r.res.NodesCreated++
+					} else {
+						if cfg.ExactOnly {
+							return Result{}, ErrNotExact
+						}
+						deleted = append(deleted, snapshot{state: r.takeState(&scratch), p: childP})
+						deletedMass = deletedMass.Add(childP)
+						r.res.NodesDeleted++
+					}
+				}
+			}
+		}
+
+		// Edge l is now processed: advance the frontier to F_{l+1} and
+		// update the remaining-degree counts used by the heuristic.
+		nextF = r.plan.AdvanceFrontier(l, curF, nextF)
+		curF, nextF = nextF, curF
+		r.remaining[e.U]--
+		r.remaining[e.V]--
+
+		// Sample this layer's deleted stratum (nodes live at layer l+1),
+		// then recycle both the stratum's and the parents' state storage —
+		// neither is referenced past this point.
+		if len(deleted) > 0 {
+			r.sampleStratum(l+1, curF, deleted, deletedMass)
+			r.recycle(deleted)
+		}
+		for i := range nodes {
+			r.pool = append(r.pool, nodes[i].state)
+		}
+
+		// Priority-sort the next layer so that, when it overflows, the
+		// lowest-h children are the ones deleted (Algorithm 2 line 34).
+		if !cfg.DisableHeuristic {
+			for i := range next {
+				next[i].hLog = r.heuristic(curF, &next[i])
+			}
+			sort.Slice(next, func(a, b int) bool { return next[a].hLog > next[b].hLog })
+		}
+		nodes = next
+		if len(nodes) > r.res.PeakWidth {
+			r.res.PeakWidth = len(nodes)
+		}
+		r.res.LayersProcessed = l + 1
+
+		// Flush rules: construction stops — handing the live nodes to a
+		// final sampling stratum — when either (a) the resolved mass has
+		// stopped growing (bounds stalled), or (b) construction effort has
+		// consumed its budget relative to the sampling cost it is meant to
+		// save.
+		if !cfg.DisableStall && !cfg.ExactOnly && len(nodes) > 0 && cfg.Samples > 0 {
+			work += float64(len(nodes)) * float64(len(curF)+4)
+			prog := r.pc.Add(r.pd).Add(r.sampledMass).Float64()
+			slot := (l + 1) % cfg.StallWindow
+			old := progress[slot]
+			progress[slot] = prog
+			if (old >= 0 && prog-old < cfg.StallThreshold) || work > workBudget {
+				liveMass := xfloat.Zero
+				for i := range nodes {
+					liveMass = liveMass.Add(nodes[i].p)
+				}
+				flush := make([]snapshot, len(nodes))
+				for i := range nodes {
+					flush[i] = snapshot{state: nodes[i].state, p: nodes[i].p}
+				}
+				r.sampleStratum(l+1, curF, flush, liveMass)
+				nodes = nil
+				flushed = true
+				break
+			}
+		}
+	}
+	if len(nodes) != 0 && !flushed {
+		return Result{}, fmt.Errorf("core: %d unresolved states after final layer", len(nodes))
+	}
+	r.res.Flushed = flushed
+	return r.finalize()
+}
+
+// sPrime returns the current Theorem 1 sample budget.
+func (r *run) sPrime() int {
+	if r.cfg.DisableReduction {
+		return r.cfg.Samples
+	}
+	pc := clamp01(r.pc.Float64())
+	pd := clamp01(r.pd.Float64())
+	if pc+pd > 1 {
+		pd = 1 - pc
+	}
+	return estimator.ReducedSamples(r.cfg.Samples, pc, pd)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// heuristic computes log h(n) (Equation 10): h(n) = p_n · max over frontier
+// components with t > 0 of max(t/k, 1/d), where d is the component's count
+// of incident uncertain edges. Nodes with no terminal-carrying component
+// yet are scored with a small constant in place of the max term.
+func (r *run) heuristic(f []int32, n *node) float64 {
+	const unflaggedScore = 1e-6
+	st := &n.state
+	best := 0.0
+	// d per component: sum of remaining uncertain edges over member slots.
+	var dbuf [64]int32
+	var d []int32
+	if len(st.Flag) <= len(dbuf) {
+		d = dbuf[:len(st.Flag)]
+		for i := range d {
+			d[i] = 0
+		}
+	} else {
+		d = make([]int32, len(st.Flag))
+	}
+	for slot, v := range f {
+		d[st.Comp[slot]] += r.remaining[v]
+	}
+	for comp, flagged := range st.Flag {
+		if !flagged || st.Tcnt[comp] == 0 {
+			continue
+		}
+		score := float64(st.Tcnt[comp]) / float64(r.k)
+		if d[comp] > 0 {
+			if inv := 1 / float64(d[comp]); inv > score {
+				score = inv
+			}
+		}
+		if score > best {
+			best = score
+		}
+	}
+	if best == 0 {
+		best = unflaggedScore
+	}
+	return n.p.Log() + math.Log(best)
+}
+
+// sampleStratum draws completions for one stratum (the deleted nodes of one
+// layer, or the flushed live nodes). Allocation is s′·P_l with stochastic
+// rounding and inverse-allocation weighting, which keeps the combined
+// estimator unbiased even when a stratum's expected allocation is below one
+// sample (see DESIGN.md §3).
+func (r *run) sampleStratum(layer int, front []int32, snaps []snapshot, mass xfloat.F) {
+	r.res.Strata++
+	r.sampledMass = r.sampledMass.Add(mass)
+	if r.cfg.Samples == 0 {
+		return // bounds-only mode
+	}
+	sp := r.sPrime()
+	r.res.SamplesReduced = sp
+	if sp == 0 {
+		return
+	}
+	x := mass.MulFloat64(float64(sp)).Float64()
+	if x <= 0 {
+		// Expected allocation underflowed float64: skip, account the bias.
+		r.res.StrataSkippedMass += mass.Float64()
+		return
+	}
+	draws := int(math.Floor(x))
+	frac := x - math.Floor(x)
+	if r.rng.Float64() < frac {
+		draws++
+	}
+	if draws == 0 {
+		return
+	}
+	// Inverse-allocation weight: a stratum with expected allocation x < 1
+	// is sampled with probability x; weighting by 1/x restores
+	// unbiasedness of the contribution.
+	weight := 1.0
+	if x < 1 {
+		weight = 1 / x
+	}
+
+	// Node choice is proportional to node mass within the stratum.
+	cum := make([]float64, len(snaps))
+	acc := 0.0
+	for i := range snaps {
+		acc += snaps[i].p.Div(mass).Float64()
+		cum[i] = acc
+	}
+	pick := func() int {
+		u := r.rng.Float64() * acc
+		i := sort.SearchFloat64s(cum, u)
+		if i >= len(snaps) {
+			i = len(snaps) - 1
+		}
+		return i
+	}
+
+	r.compl.setLayer(layer, front)
+	switch r.cfg.Estimator {
+	case estimator.MonteCarlo:
+		connected := 0
+		for i := 0; i < draws; i++ {
+			s := &snaps[pick()]
+			ok, _, _ := r.compl.complete(&s.state, false)
+			if ok {
+				connected++
+			}
+		}
+		r.res.SamplesUsed += draws
+		hit := float64(connected) / float64(draws)
+		r.estSampled = r.estSampled.Add(mass.MulFloat64(hit * weight))
+	case estimator.HorvitzThompson:
+		// HT over the stratum's conditional world distribution: each world
+		// w has conditional probability q_w = p_node·pr_completion / P_l;
+		// the estimator sums q_w/π_w over distinct connected worlds and
+		// estimates the stratum's conditional reliability fraction.
+		var ht estimator.HTEstimate
+		seen := make(map[uint64]bool, draws)
+		for i := 0; i < draws; i++ {
+			idx := pick()
+			s := &snaps[idx]
+			ok, pr, fp := r.compl.complete(&s.state, true)
+			if !ok {
+				continue
+			}
+			// Deduplicate across nodes too: mix the node identity into the
+			// completion fingerprint.
+			fp ^= uint64(idx)*0x9e3779b97f4a7c15 + 0x85ebca6b
+			if seen[fp] {
+				continue
+			}
+			seen[fp] = true
+			q := s.p.Mul(pr).Div(mass)
+			ht.Add(q, true, draws)
+		}
+		r.res.SamplesUsed += draws
+		hit := ht.Estimate()
+		r.estSampled = r.estSampled.Add(mass.MulFloat64(hit * weight))
+	}
+}
+
+// finalize assembles the Result.
+func (r *run) finalize() (Result, error) {
+	res := r.res
+	res.LowerX = r.pc.Clamp01()
+	res.UnresolvedX = r.sampledMass
+	res.Lower = res.LowerX.Float64()
+	upper := r.pc.Add(r.sampledMass).Clamp01()
+	res.Upper = upper.Float64()
+
+	exact := res.Strata == 0
+	res.Exact = exact
+	if exact {
+		res.EstimateX = r.pc.Clamp01()
+		res.Estimate = res.EstimateX.Float64()
+		res.SamplesReduced = 0
+		res.SamplesReducedRaw = 0
+		res.Variance = 0
+		return res, nil
+	}
+
+	if r.cfg.Samples == 0 {
+		// Bounds-only: report the midpoint.
+		res.EstimateX = r.pc.Add(r.sampledMass.MulFloat64(0.5)).Clamp01()
+	} else {
+		est := r.pc.Add(r.estSampled)
+		// Clamp into the proven bounds: allocation weighting can push the
+		// raw estimate marginally outside them.
+		if est.Cmp(r.pc) < 0 {
+			est = r.pc
+		}
+		if est.Cmp(upper) > 0 {
+			est = upper
+		}
+		res.EstimateX = est.Clamp01()
+	}
+	res.Estimate = res.EstimateX.Float64()
+
+	pc := clamp01(res.Lower)
+	pd := clamp01(r.pd.Float64())
+	if pc+pd > 1 {
+		pd = 1 - pc
+	}
+	res.SamplesReducedRaw = estimator.ReducedSamplesRaw(r.cfg.Samples, pc, pd)
+	if r.cfg.DisableReduction {
+		res.SamplesReduced = r.cfg.Samples
+	} else {
+		res.SamplesReduced = estimator.ReducedSamples(r.cfg.Samples, pc, pd)
+	}
+	res.Variance = estimator.StratifiedMCVariance(res.Estimate, pc, pd, max(res.SamplesReduced, 1))
+	return res, nil
+}

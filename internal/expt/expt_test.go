@@ -1,0 +1,240 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+
+	"netrel/datasets"
+)
+
+// tiny returns a configuration that keeps experiment smoke tests fast.
+func tiny() Config {
+	return Config{
+		Scale:     datasets.Small,
+		Samples:   200,
+		Width:     256,
+		Searches:  1,
+		Repeats:   2,
+		BDDBudget: 2_000,
+		Seed:      7,
+	}
+}
+
+func TestTable2AllDatasets(t *testing.T) {
+	rows, err := Table2(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(rows))
+	}
+	for _, r := range rows {
+		if r.Vertices <= 0 || r.Edges <= 0 || r.AvgProb <= 0 || r.AvgProb > 1 {
+			t.Fatalf("bad row: %+v", r)
+		}
+	}
+	var sb strings.Builder
+	RenderTable2(&sb, rows)
+	if !strings.Contains(sb.String(), "Karate") {
+		t.Fatal("render missing dataset")
+	}
+}
+
+func TestFigure3ShapeAndDNF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment smoke test")
+	}
+	rows, err := Figure3(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 datasets × 3 k values × 4 methods.
+	if len(rows) != 60 {
+		t.Fatalf("rows = %d, want 60", len(rows))
+	}
+	bddDNF := 0
+	for _, r := range rows {
+		if r.Method == MethodBDD && r.DNF {
+			bddDNF++
+		}
+		if !r.DNF && r.Seconds < 0 {
+			t.Fatalf("negative time: %+v", r)
+		}
+	}
+	// The paper's core Figure 3 observation: the exact BDD cannot handle
+	// the large datasets.
+	if bddDNF < 10 {
+		t.Fatalf("BDD DNF on only %d/15 cells; expected nearly all", bddDNF)
+	}
+	var sb strings.Builder
+	RenderFigure3(&sb, rows)
+	if !strings.Contains(sb.String(), "DNF") {
+		t.Fatal("render missing DNF marker")
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment smoke test")
+	}
+	cfg := tiny()
+	cfg.SampleBudgets = []int{50, 200}
+	rows, err := Figure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5*2 {
+		t.Fatalf("rows = %d, want 10", len(rows))
+	}
+	for _, r := range rows {
+		if r.SampleRatio < 0 || r.SampleRatio > 1.0001 {
+			t.Fatalf("sample ratio out of range: %+v", r)
+		}
+		if r.TimeRatio <= 0 {
+			t.Fatalf("non-positive time ratio: %+v", r)
+		}
+	}
+	var sb strings.Builder
+	RenderFigure4(&sb, rows)
+	if !strings.Contains(sb.String(), "s'/s") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment smoke test")
+	}
+	rows, err := Figure5(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5*3 { // small scale trims the 1M point
+		t.Fatalf("rows = %d, want 15", len(rows))
+	}
+	for _, r := range rows {
+		if r.AllocMB < 0 || r.Seconds < 0 {
+			t.Fatalf("bad row: %+v", r)
+		}
+	}
+	var sb strings.Builder
+	RenderFigure5(&sb, rows)
+	if !strings.Contains(sb.String(), "Max width") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestTable4ProIsExact(t *testing.T) {
+	cfg := tiny()
+	cfg.Samples = 1000
+	cfg.Width = 10_000
+	rows, err := Table4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	for _, r := range rows {
+		switch r.Method {
+		case MethodProMC, MethodProHT:
+			// The paper's Table 4 headline: Pro computes Am-Rv exactly.
+			if r.Variance != 0 || r.ErrorRate != 0 {
+				t.Fatalf("Pro not exact on Am-Rv: %+v", r)
+			}
+			if r.ExactRuns != r.TotalRuns {
+				t.Fatalf("Pro exact-run count %d/%d", r.ExactRuns, r.TotalRuns)
+			}
+		}
+	}
+	var sb strings.Builder
+	RenderAccuracy(&sb, rows)
+	if !strings.Contains(sb.String(), "Error rate") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestTable3Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment smoke test")
+	}
+	cfg := tiny()
+	cfg.Samples = 500
+	cfg.Width = 2000
+	rows, err := Table3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	for _, r := range rows {
+		if r.Variance < 0 || r.ErrorRate < 0 {
+			t.Fatalf("negative metric: %+v", r)
+		}
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	rows, err := Table5(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(rows))
+	}
+	byDS := map[string]Table5Row{}
+	for _, r := range rows {
+		if r.ReducedRatio < 0 || r.ReducedRatio > 1 {
+			t.Fatalf("ratio out of range: %+v", r)
+		}
+		byDS[r.Dataset] = r
+	}
+	// The paper's strongest reductions: Am-Rv (0.120) and NYC (0.279); its
+	// weakest: Hit-d (0.982). The generated stand-ins must keep that order.
+	if !(byDS["Am-Rv"].ReducedRatio < byDS["Tokyo"].ReducedRatio &&
+		byDS["Tokyo"].ReducedRatio < byDS["Hit-d"].ReducedRatio) {
+		t.Fatalf("reduction ordering broken: %+v", rows)
+	}
+	var sb strings.Builder
+	RenderTable5(&sb, rows)
+	if !strings.Contains(sb.String(), "Reduced graph size") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestRunDispatcher(t *testing.T) {
+	var sb strings.Builder
+	if err := Run("table2", tiny(), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Table 2") {
+		t.Fatal("dispatcher output missing banner")
+	}
+	if err := Run("bogus", tiny(), &sb); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment smoke test")
+	}
+	rows, err := Ablations(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*9 {
+		t.Fatalf("rows = %d, want 18", len(rows))
+	}
+	for _, r := range rows {
+		if r.Estimate < 0 || r.Estimate > 1 || r.Lower > r.Upper+1e-9 {
+			t.Fatalf("bad ablation row: %+v", r)
+		}
+	}
+	var sb strings.Builder
+	RenderAblations(&sb, rows)
+	if !strings.Contains(sb.String(), "Variant") {
+		t.Fatal("render missing header")
+	}
+}

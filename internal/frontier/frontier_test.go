@@ -1,0 +1,244 @@
+package frontier
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"netrel/internal/exact"
+	"netrel/internal/order"
+	"netrel/internal/ugraph"
+	"netrel/internal/xfloat"
+)
+
+// expand recursively applies every edge assignment from the root state and
+// returns the total probability mass reaching the 1-sink. This is a BDD with
+// no merging at all — exponential, but an oracle for the transition rules.
+func expand(t *testing.T, p *Plan, earlyTerm bool) xfloat.F {
+	t.Helper()
+	sc := NewScratch(p)
+	pc := xfloat.Zero
+	var rec func(l int, s State, pr xfloat.F)
+	rec = func(l int, s State, pr xfloat.F) {
+		if l == p.M() {
+			t.Fatalf("state survived past the last layer: %+v", s)
+		}
+		e := p.EdgeAt(l)
+		for _, exists := range [2]bool{false, true} {
+			w := 1 - e.P
+			if exists {
+				w = e.P
+			}
+			child := pr.MulFloat64(w)
+			var out State
+			switch p.Apply(l, &s, exists, earlyTerm, sc, &out) {
+			case OneSink:
+				pc = pc.Add(child)
+			case ZeroSink:
+				// dropped
+			case Live:
+				rec(l+1, out.Clone(), child)
+			}
+		}
+	}
+	rec(0, p.Root(), xfloat.One)
+	return pc
+}
+
+func mustPlan(t *testing.T, g *ugraph.Graph, ts ugraph.Terminals, ord []int) *Plan {
+	t.Helper()
+	p, err := NewPlan(g, ts, ord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func randConnected(r *rand.Rand, n, extra int) *ugraph.Graph {
+	g := ugraph.New(n)
+	for v := 1; v < n; v++ {
+		if _, err := g.AddEdge(r.IntN(v), v, 0.05+0.9*r.Float64()); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < extra; i++ {
+		u, v := r.IntN(n), r.IntN(n)
+		if u == v {
+			continue
+		}
+		if _, err := g.AddEdge(u, v, 0.05+0.9*r.Float64()); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+func TestPlanBasics(t *testing.T) {
+	g, err := ugraph.FromEdges(4, []ugraph.Edge{
+		{U: 0, V: 1, P: 0.5}, {U: 1, V: 2, P: 0.5}, {U: 2, V: 3, P: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, _ := ugraph.NewTerminals(g, []int{0, 3})
+	p := mustPlan(t, g, ts, []int{0, 1, 2})
+	if p.M() != 3 || p.K() != 2 {
+		t.Fatal("plan dimensions wrong")
+	}
+	if len(p.FrontierAt(0)) != 0 || len(p.FrontierAt(3)) != 0 {
+		t.Fatal("first and last frontiers must be empty")
+	}
+	// After edge (0,1): 0 retires (no more edges), 1 stays.
+	if f := p.FrontierAt(1); len(f) != 1 || f[0] != 1 {
+		t.Fatalf("F_1 = %v, want [1]", f)
+	}
+	if p.MaxFrontier() != 1 {
+		t.Fatalf("MaxFrontier = %d on a path", p.MaxFrontier())
+	}
+	if p.UnseenFrom(0) != 2 || p.UnseenFrom(1) != 1 || p.UnseenFrom(3) != 0 {
+		t.Fatalf("unseen counts wrong: %d %d %d", p.UnseenFrom(0), p.UnseenFrom(1), p.UnseenFrom(3))
+	}
+}
+
+func TestPlanRejectsBadOrder(t *testing.T) {
+	g, _ := ugraph.FromEdges(2, []ugraph.Edge{{U: 0, V: 1, P: 0.5}})
+	ts, _ := ugraph.NewTerminals(g, []int{0, 1})
+	if _, err := NewPlan(g, ts, []int{0, 0}); err == nil {
+		t.Fatal("duplicate order accepted")
+	}
+	if _, err := NewPlan(g, ts, []int{}); err == nil {
+		t.Fatal("short order accepted")
+	}
+}
+
+func TestPlanRejectsIsolatedTerminal(t *testing.T) {
+	g := ugraph.New(3)
+	if _, err := g.AddEdge(0, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	ts, _ := ugraph.NewTerminals(g, []int{0, 2})
+	if _, err := NewPlan(g, ts, []int{0}); err == nil {
+		t.Fatal("terminal without edges accepted")
+	}
+}
+
+func TestExpandMatchesBruteForceOnKnownGraphs(t *testing.T) {
+	// Triangle, terminals {0,1}: R = 0.625 at p=0.5.
+	g, _ := ugraph.FromEdges(3, []ugraph.Edge{
+		{U: 0, V: 1, P: 0.5}, {U: 1, V: 2, P: 0.5}, {U: 0, V: 2, P: 0.5},
+	})
+	ts, _ := ugraph.NewTerminals(g, []int{0, 1})
+	for _, et := range [2]bool{false, true} {
+		p := mustPlan(t, g, ts, []int{0, 1, 2})
+		got := expand(t, p, et).Float64()
+		if math.Abs(got-0.625) > 1e-12 {
+			t.Fatalf("earlyTerm=%v: R = %v, want 0.625", et, got)
+		}
+	}
+}
+
+// TestPropertyExpandMatchesBruteForce is the core soundness check of the
+// whole reproduction: the frontier transition rules, under any edge order
+// and with or without early termination, must reproduce Definition 1.
+func TestPropertyExpandMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewPCG(2024, 5))
+	strategies := []order.Strategy{order.Natural, order.BFS, order.DFS, order.Degree, order.FrontierMin}
+	f := func(_ int) bool {
+		n := 2 + r.IntN(5)
+		g := randConnected(r, n, r.IntN(5))
+		if g.M() > 12 { // keep the no-merge expansion affordable
+			return true
+		}
+		k := 1 + r.IntN(n)
+		perm := r.Perm(n)
+		ts, err := ugraph.NewTerminals(g, perm[:k])
+		if err != nil {
+			return false
+		}
+		want, err := exact.BruteForce(g, ts)
+		if err != nil {
+			return false
+		}
+		st := strategies[r.IntN(len(strategies))]
+		ord := order.Compute(g, st, ts[0])
+		et := r.IntN(2) == 0
+		p, err := NewPlan(g, ts, ord)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		got := expand(t, p, et)
+		if got.Sub(want).Abs().Float64() > 1e-10 {
+			t.Logf("n=%d m=%d k=%d strat=%v et=%v: got %v want %v",
+				n, g.M(), k, st, et, got.Float64(), want.Float64())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleTerminalAlwaysOne(t *testing.T) {
+	// k=1: every world connects the single terminal to itself. The machine
+	// is only defined for k≥2 in the paper; we verify k=1 still yields 1.
+	g, _ := ugraph.FromEdges(3, []ugraph.Edge{
+		{U: 0, V: 1, P: 0.3}, {U: 1, V: 2, P: 0.3},
+	})
+	ts, _ := ugraph.NewTerminals(g, []int{1})
+	p := mustPlan(t, g, ts, []int{0, 1})
+	got := expand(t, p, true).Float64()
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("k=1 reliability = %v, want 1", got)
+	}
+}
+
+func TestEarlyTerminationOnlyShrinksWork(t *testing.T) {
+	// With early termination, strictly fewer live states should be created
+	// on a graph where terminals connect early.
+	r := rand.New(rand.NewPCG(5, 6))
+	g := randConnected(r, 6, 5)
+	ts, _ := ugraph.NewTerminals(g, []int{0, 1})
+	ord := order.Compute(g, order.BFS, 0)
+
+	count := func(et bool) int {
+		p := mustPlan(t, g, ts, ord)
+		sc := NewScratch(p)
+		states := 0
+		var rec func(l int, s State)
+		rec = func(l int, s State) {
+			e := p.EdgeAt(l)
+			_ = e
+			for _, exists := range [2]bool{false, true} {
+				var out State
+				if p.Apply(l, &s, exists, et, sc, &out) == Live {
+					states++
+					rec(l+1, out.Clone())
+				}
+			}
+		}
+		rec(0, p.Root())
+		return states
+	}
+	with, without := count(true), count(false)
+	if with > without {
+		t.Fatalf("early termination created more states (%d > %d)", with, without)
+	}
+}
+
+func TestStateKeyDistinguishesFlags(t *testing.T) {
+	a := State{Comp: []uint16{0, 0, 1}, Flag: []bool{true, false}}
+	b := State{Comp: []uint16{0, 0, 1}, Flag: []bool{false, true}}
+	c := State{Comp: []uint16{0, 0, 1}, Flag: []bool{true, false}}
+	ka := string(a.Key(nil))
+	kb := string(b.Key(nil))
+	kc := string(c.Key(nil))
+	if ka == kb {
+		t.Fatal("keys must differ when flags differ")
+	}
+	if ka != kc {
+		t.Fatal("identical states must share a key")
+	}
+}

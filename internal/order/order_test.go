@@ -1,0 +1,209 @@
+package order
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"netrel/internal/ugraph"
+)
+
+func grid(t *testing.T, rows, cols int) *ugraph.Graph {
+	t.Helper()
+	g := ugraph.New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				if _, err := g.AddEdge(id(r, c), id(r, c+1), 0.5); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if r+1 < rows {
+				if _, err := g.AddEdge(id(r, c), id(r+1, c), 0.5); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func randConnected(r *rand.Rand, n, extra int) *ugraph.Graph {
+	g := ugraph.New(n)
+	for v := 1; v < n; v++ {
+		u := r.IntN(v)
+		if _, err := g.AddEdge(u, v, 0.5); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < extra; i++ {
+		u, v := r.IntN(n), r.IntN(n)
+		if u == v {
+			continue
+		}
+		if _, err := g.AddEdge(u, v, 0.5); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+func allStrategies() []Strategy {
+	return []Strategy{Natural, BFS, DFS, Degree, FrontierMin, RCM}
+}
+
+func TestAllStrategiesProducePermutations(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 1))
+	for trial := 0; trial < 30; trial++ {
+		g := randConnected(r, 2+r.IntN(20), r.IntN(15))
+		for _, st := range allStrategies() {
+			ord := Compute(g, st, -1)
+			if err := Validate(g.M(), ord); err != nil {
+				t.Fatalf("strategy %v: %v", st, err)
+			}
+		}
+	}
+}
+
+func TestPropertyPermutation(t *testing.T) {
+	r := rand.New(rand.NewPCG(2, 2))
+	f := func(_ int) bool {
+		g := randConnected(r, 2+r.IntN(15), r.IntN(10))
+		st := allStrategies()[r.IntN(len(allStrategies()))]
+		start := -1
+		if r.IntN(2) == 0 {
+			start = r.IntN(g.N())
+		}
+		return Validate(g.M(), Compute(g, st, start)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFSBeatsNaturalShuffledOnGrid(t *testing.T) {
+	// On a grid with shuffled input edges, BFS ordering must yield a
+	// frontier close to the grid width while the shuffled natural order is
+	// much worse. This is the property S2BDD performance depends on.
+	g := grid(t, 8, 8)
+	// Shuffle the edges into a new graph to destroy input locality.
+	r := rand.New(rand.NewPCG(3, 3))
+	perm := r.Perm(g.M())
+	shuffled := ugraph.New(g.N())
+	for _, i := range perm {
+		e := g.Edge(i)
+		if _, err := shuffled.AddEdge(e.U, e.V, e.P); err != nil {
+			t.Fatal(err)
+		}
+	}
+	natural := MaxFrontier(shuffled, Compute(shuffled, Natural, -1))
+	bfs := MaxFrontier(shuffled, Compute(shuffled, BFS, 0))
+	if bfs >= natural {
+		t.Fatalf("BFS frontier %d should beat shuffled natural %d", bfs, natural)
+	}
+	if bfs > 12 { // 8-wide grid: BFS frontier stays near one row
+		t.Fatalf("BFS frontier %d too large for an 8x8 grid", bfs)
+	}
+}
+
+func TestFrontierMinOnPath(t *testing.T) {
+	// A path graph has frontier width 2 under any sensible order.
+	g := ugraph.New(10)
+	for v := 0; v < 9; v++ {
+		if _, err := g.AddEdge(v, v+1, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := MaxFrontier(g, Compute(g, FrontierMin, -1)); got > 2 {
+		t.Fatalf("FrontierMin frontier on path = %d", got)
+	}
+	if got := MaxFrontier(g, Compute(g, BFS, 0)); got > 2 {
+		t.Fatalf("BFS frontier on path = %d", got)
+	}
+	if got := MaxFrontier(g, Compute(g, RCM, -1)); got > 2 {
+		t.Fatalf("RCM frontier on path = %d", got)
+	}
+}
+
+func TestRCMCompetitiveOnGrid(t *testing.T) {
+	// On a grid, RCM must match BFS's near-optimal frontier width.
+	g := grid(t, 10, 10)
+	rcm := MaxFrontier(g, Compute(g, RCM, -1))
+	bfs := MaxFrontier(g, Compute(g, BFS, 0))
+	if rcm > bfs+3 {
+		t.Fatalf("RCM frontier %d much worse than BFS %d on a grid", rcm, bfs)
+	}
+}
+
+func TestMaxFrontierBounds(t *testing.T) {
+	r := rand.New(rand.NewPCG(4, 4))
+	for trial := 0; trial < 20; trial++ {
+		g := randConnected(r, 3+r.IntN(12), r.IntN(10))
+		for _, st := range allStrategies() {
+			got := MaxFrontier(g, Compute(g, st, -1))
+			if got < 1 || got > g.N() {
+				t.Fatalf("strategy %v: frontier %d out of [1,%d]", st, got, g.N())
+			}
+		}
+	}
+}
+
+func TestStrategyStringParseRoundTrip(t *testing.T) {
+	for _, st := range allStrategies() {
+		got, err := Parse(st.String())
+		if err != nil || got != st {
+			t.Fatalf("round trip %v: got %v, %v", st, got, err)
+		}
+	}
+	if _, err := Parse("bogus"); err == nil {
+		t.Fatal("Parse accepted bogus strategy")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	if err := Validate(3, []int{0, 1}); err == nil {
+		t.Error("short order accepted")
+	}
+	if err := Validate(3, []int{0, 1, 1}); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if err := Validate(3, []int{0, 1, 3}); err == nil {
+		t.Error("out of range accepted")
+	}
+}
+
+func TestStartVertexRespected(t *testing.T) {
+	// Star graph: starting BFS from the hub or from a leaf both give valid
+	// orders; the first edge must touch the start vertex.
+	g := ugraph.New(5)
+	for v := 1; v < 5; v++ {
+		if _, err := g.AddEdge(0, v, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ord := Compute(g, BFS, 3)
+	first := g.Edge(ord[0])
+	if first.U != 3 && first.V != 3 {
+		t.Fatalf("first edge %v does not touch start vertex 3", first)
+	}
+}
+
+func BenchmarkBFSOrderGrid(b *testing.B) {
+	g := ugraph.New(100 * 100)
+	id := func(r, c int) int { return r*100 + c }
+	for r := 0; r < 100; r++ {
+		for c := 0; c < 100; c++ {
+			if c+1 < 100 {
+				_, _ = g.AddEdge(id(r, c), id(r, c+1), 0.5)
+			}
+			if r+1 < 100 {
+				_, _ = g.AddEdge(id(r, c), id(r+1, c), 0.5)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Compute(g, BFS, 0)
+	}
+}

@@ -1,0 +1,127 @@
+// Package preprocess implements the paper's extension technique (Section 5):
+// an index of bridges and 2-edge-connected components, and the three-phase
+// reduction — prune (Steiner subtree of the bridge tree), decompose (cut at
+// bridges, Lemma 5.1), and transform (series/parallel/loop rewrites) — that
+// shrinks an uncertain graph while preserving its k-terminal reliability
+// exactly: R[G,T] = p_b · Π R[G_i, T_i].
+package preprocess
+
+import (
+	"netrel/internal/ugraph"
+	"netrel/internal/unionfind"
+)
+
+// Index holds the 2-edge-connected-component structure of a graph. It
+// depends only on topology (not probabilities or terminals), so the paper
+// precomputes it once per graph.
+type Index struct {
+	// IsBridge marks bridge edges by edge index.
+	IsBridge []bool
+	// Bridges lists bridge edge indices.
+	Bridges []int
+	// Comp assigns each vertex its 2-edge-connected component id.
+	Comp []int32
+	// NumComps is the number of 2ECCs.
+	NumComps int
+}
+
+// BuildIndex finds all bridges with an iterative Tarjan lowlink DFS
+// (recursion would overflow on road-network-scale graphs) and derives the
+// 2ECCs as the connected components of the bridge-free graph. Parallel
+// edges are handled: only the exact edge used to enter a vertex is excluded
+// from back-edge consideration, so a parallel pair is never a bridge.
+func BuildIndex(g *ugraph.Graph) *Index {
+	n := g.N()
+	m := g.M()
+	idx := &Index{
+		IsBridge: make([]bool, m),
+		Comp:     make([]int32, n),
+	}
+	adjStart, adj := g.Adjacency()
+
+	disc := make([]int32, n)
+	low := make([]int32, n)
+	for i := range disc {
+		disc[i] = -1
+	}
+	type frame struct {
+		v      int32
+		inEdge int32 // edge index used to enter v, -1 for roots
+		adjPos int32 // next adjacency position to examine
+	}
+	stack := make([]frame, 0, 64)
+	timer := int32(0)
+
+	for root := 0; root < n; root++ {
+		if disc[root] != -1 {
+			continue
+		}
+		disc[root] = timer
+		low[root] = timer
+		timer++
+		stack = append(stack, frame{v: int32(root), inEdge: -1, adjPos: adjStart[root]})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			v := int(f.v)
+			if f.adjPos < adjStart[v+1] {
+				ei := adj[f.adjPos]
+				f.adjPos++
+				if ei == f.inEdge {
+					continue // the tree edge we arrived by
+				}
+				e := g.Edge(int(ei))
+				w := ugraph.Other(e, v)
+				if w == v {
+					continue // self-loop contributes nothing
+				}
+				if disc[w] == -1 {
+					disc[w] = timer
+					low[w] = timer
+					timer++
+					stack = append(stack, frame{v: int32(w), inEdge: ei, adjPos: adjStart[w]})
+				} else if disc[w] < low[v] {
+					low[v] = disc[w]
+				}
+				continue
+			}
+			// Post-order: propagate lowlink to parent and test the bridge
+			// condition.
+			stack = stack[:len(stack)-1]
+			if f.inEdge >= 0 {
+				e := g.Edge(int(f.inEdge))
+				parent := ugraph.Other(e, v)
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+				if low[v] > disc[parent] {
+					idx.IsBridge[f.inEdge] = true
+				}
+			}
+		}
+	}
+	for ei, b := range idx.IsBridge {
+		if b {
+			idx.Bridges = append(idx.Bridges, ei)
+		}
+	}
+
+	// 2ECCs: components of the graph minus bridges.
+	d := unionfind.New(n)
+	for ei, e := range g.Edges() {
+		if !idx.IsBridge[ei] {
+			d.Union(e.U, e.V)
+		}
+	}
+	label := make(map[int]int32, 64)
+	for v := 0; v < n; v++ {
+		r := d.Find(v)
+		id, ok := label[r]
+		if !ok {
+			id = int32(len(label))
+			label[r] = id
+		}
+		idx.Comp[v] = id
+	}
+	idx.NumComps = len(label)
+	return idx
+}

@@ -1,0 +1,469 @@
+package preprocess
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"netrel/internal/ugraph"
+	"netrel/internal/xfloat"
+)
+
+// Subproblem is one decomposed, transformed subgraph whose reliability
+// multiplies into the final answer.
+type Subproblem struct {
+	// G is the transformed subgraph over compact vertex ids.
+	G *ugraph.Graph
+	// Terminals is the subproblem's terminal set (original terminals plus
+	// bridge attachment points, per Lemma 5.1).
+	Terminals ugraph.Terminals
+	// VertexMap maps subgraph vertex ids back to original vertex ids.
+	// Vertices introduced by no rewrite — every subgraph vertex descends
+	// from an original vertex — so the map is total.
+	VertexMap []int
+	// EdgesBeforeTransform counts the subgraph's edges before the
+	// series/parallel/loop rewrites (for the Table 5 statistic).
+	EdgesBeforeTransform int
+}
+
+// Result is the outcome of the extension technique:
+// R[G,T] = PB · Π R[Sub_i]. A subproblem with ≤1 terminal is dropped (its
+// factor is exactly 1).
+type Result struct {
+	// PB is the product of the probabilities of bridges that every
+	// terminal-connecting world must contain.
+	PB xfloat.F
+	// Subproblems are the remaining nontrivial reliability computations.
+	Subproblems []*Subproblem
+	// Disconnected reports that the terminals cannot be connected in any
+	// world: R = 0 regardless of PB and subproblems.
+	Disconnected bool
+
+	// Statistics for Table 5 and diagnostics.
+	OriginalVertices, OriginalEdges int
+	KeptVertices, KeptEdges         int
+	MaxSubgraphEdges                int
+	// ReducedRatio is max subgraph edges (after transform) over original
+	// edges — the paper's "reduced graph size".
+	ReducedRatio float64
+}
+
+// ErrNoTerminals reports an empty terminal set.
+var ErrNoTerminals = errors.New("preprocess: empty terminal set")
+
+// Run applies prune → decompose → transform. idx may be nil, in which case
+// it is built on the fly.
+func Run(g *ugraph.Graph, ts ugraph.Terminals, idx *Index) (*Result, error) {
+	if len(ts) == 0 {
+		return nil, ErrNoTerminals
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if idx == nil {
+		idx = BuildIndex(g)
+	}
+	res := &Result{
+		PB:               xfloat.One,
+		OriginalVertices: g.N(),
+		OriginalEdges:    g.M(),
+	}
+	if len(ts) == 1 {
+		res.ReducedRatio = 0
+		return res, nil
+	}
+
+	// --- Prune: Steiner subtree of the bridge tree. ---
+	// Bridge-tree nodes are 2ECCs; edges are bridges. Iteratively strip
+	// non-terminal leaf components; what remains is the minimal subtree
+	// spanning all terminal components.
+	nc := idx.NumComps
+	isTermComp := make([]bool, nc)
+	for _, t := range ts {
+		isTermComp[idx.Comp[t]] = true
+	}
+	compAdj := make([][]bridgeArc, nc)
+	for _, ei := range idx.Bridges {
+		e := g.Edge(ei)
+		cu, cv := idx.Comp[e.U], idx.Comp[e.V]
+		compAdj[cu] = append(compAdj[cu], bridgeArc{edge: ei, to: cv})
+		compAdj[cv] = append(compAdj[cv], bridgeArc{edge: ei, to: cu})
+	}
+
+	// Connectivity check across comps: all terminal comps must be in one
+	// bridge-tree component; otherwise R = 0.
+	if !terminalCompsConnected(compAdj, isTermComp, nc) {
+		res.Disconnected = true
+		return res, nil
+	}
+
+	kept := make([]bool, nc)
+	for c := range kept {
+		kept[c] = true
+	}
+	deg := make([]int, nc)
+	for c := range compAdj {
+		deg[c] = len(compAdj[c])
+	}
+	queue := make([]int32, 0, nc)
+	for c := 0; c < nc; c++ {
+		if deg[c] <= 1 && !isTermComp[c] {
+			queue = append(queue, int32(c))
+		}
+	}
+	for len(queue) > 0 {
+		c := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if !kept[c] || isTermComp[c] {
+			continue
+		}
+		if deg[c] > 1 {
+			continue
+		}
+		kept[c] = false
+		for _, arc := range compAdj[c] {
+			if kept[arc.to] {
+				deg[arc.to]--
+				if deg[arc.to] <= 1 && !isTermComp[arc.to] {
+					queue = append(queue, arc.to)
+				}
+			}
+		}
+	}
+	// Comps in other bridge-tree components (not reachable from terminal
+	// comps) also have to go; strip them by reachability.
+	reach := make([]bool, nc)
+	stack := []int32{idx.Comp[ts[0]]}
+	reach[idx.Comp[ts[0]]] = true
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, arc := range compAdj[c] {
+			if kept[arc.to] && !reach[arc.to] {
+				reach[arc.to] = true
+				stack = append(stack, arc.to)
+			}
+		}
+	}
+	for c := 0; c < nc; c++ {
+		if !reach[c] {
+			kept[c] = false
+		}
+	}
+
+	// --- Decompose: kept bridges must exist; their probabilities multiply
+	// into PB and their endpoints become terminals of their components. ---
+	extraTerms := make(map[int32][]int, 8) // comp → attachment vertices
+	for _, ei := range idx.Bridges {
+		e := g.Edge(ei)
+		cu, cv := idx.Comp[e.U], idx.Comp[e.V]
+		if !kept[cu] || !kept[cv] {
+			continue
+		}
+		res.PB = res.PB.MulFloat64(e.P)
+		extraTerms[cu] = append(extraTerms[cu], e.U)
+		extraTerms[cv] = append(extraTerms[cv], e.V)
+	}
+
+	// --- Build subgraphs per kept comp. ---
+	// Group vertices and edges.
+	termsByComp := make(map[int32][]int, 8)
+	for _, t := range ts {
+		c := idx.Comp[t]
+		termsByComp[c] = append(termsByComp[c], t)
+	}
+	for c, vs := range extraTerms {
+		termsByComp[c] = append(termsByComp[c], vs...)
+	}
+
+	vertsByComp := make(map[int32][]int, 8)
+	for v := 0; v < g.N(); v++ {
+		c := idx.Comp[v]
+		if kept[c] {
+			vertsByComp[c] = append(vertsByComp[c], v)
+		}
+	}
+
+	comps := make([]int32, 0, len(termsByComp))
+	for c := range termsByComp {
+		if kept[c] {
+			comps = append(comps, c)
+		}
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i] < comps[j] })
+
+	for _, c := range comps {
+		sub, err := buildSubproblem(g, idx, c, vertsByComp[c], termsByComp[c])
+		if err != nil {
+			return nil, err
+		}
+		if sub == nil {
+			continue // ≤1 distinct terminal: factor 1
+		}
+		res.Subproblems = append(res.Subproblems, sub)
+	}
+	for _, c := range comps {
+		res.KeptVertices += len(vertsByComp[c])
+	}
+	for ei, e := range g.Edges() {
+		if idx.IsBridge[ei] {
+			continue
+		}
+		if kept[idx.Comp[e.U]] {
+			res.KeptEdges++
+		}
+	}
+	for _, sub := range res.Subproblems {
+		if sub.G.M() > res.MaxSubgraphEdges {
+			res.MaxSubgraphEdges = sub.G.M()
+		}
+	}
+	if res.OriginalEdges > 0 {
+		res.ReducedRatio = float64(res.MaxSubgraphEdges) / float64(res.OriginalEdges)
+	}
+	return res, nil
+}
+
+// bridgeArc is an edge of the bridge tree: a bridge leading to a
+// neighbouring 2ECC.
+type bridgeArc struct {
+	edge int   // edge index in g
+	to   int32 // neighbouring comp
+}
+
+func terminalCompsConnected(compAdj [][]bridgeArc, isTermComp []bool, nc int) bool {
+	start := -1
+	for c := 0; c < nc; c++ {
+		if isTermComp[c] {
+			start = c
+			break
+		}
+	}
+	if start == -1 {
+		return true
+	}
+	seen := make([]bool, nc)
+	stack := []int32{int32(start)}
+	seen[start] = true
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, arc := range compAdj[c] {
+			if !seen[arc.to] {
+				seen[arc.to] = true
+				stack = append(stack, arc.to)
+			}
+		}
+	}
+	for c := 0; c < nc; c++ {
+		if isTermComp[c] && !seen[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildSubproblem extracts comp c as a compact graph, applies the transform
+// rewrites, and returns nil when the subproblem is trivially 1.
+func buildSubproblem(g *ugraph.Graph, idx *Index, c int32, verts []int, terms []int) (*Subproblem, error) {
+	// Dedup terminals.
+	sort.Ints(terms)
+	terms = dedupInts(terms)
+	if len(terms) <= 1 {
+		return nil, nil
+	}
+	local := make(map[int]int, len(verts))
+	vmap := make([]int, 0, len(verts))
+	for _, v := range verts {
+		local[v] = len(vmap)
+		vmap = append(vmap, v)
+	}
+	edges := make([]ugraph.Edge, 0, 16)
+	for ei, e := range g.Edges() {
+		if idx.IsBridge[ei] || idx.Comp[e.U] != c {
+			continue
+		}
+		edges = append(edges, ugraph.Edge{U: local[e.U], V: local[e.V], P: e.P})
+	}
+	isTerm := make([]bool, len(vmap))
+	for _, t := range terms {
+		isTerm[local[t]] = true
+	}
+	before := len(edges)
+	edges = transform(len(vmap), edges, isTerm)
+
+	// Compact away isolated vertices left by the rewrites.
+	used := make([]bool, len(vmap))
+	for _, e := range edges {
+		used[e.U] = true
+		used[e.V] = true
+	}
+	for i := range isTerm {
+		if isTerm[i] {
+			used[i] = true
+		}
+	}
+	remap := make([]int, len(vmap))
+	outMap := make([]int, 0, len(vmap))
+	for i := range vmap {
+		if used[i] {
+			remap[i] = len(outMap)
+			outMap = append(outMap, vmap[i])
+		} else {
+			remap[i] = -1
+		}
+	}
+	sg := ugraph.New(len(outMap))
+	for _, e := range edges {
+		if _, err := sg.AddEdge(remap[e.U], remap[e.V], e.P); err != nil {
+			return nil, fmt.Errorf("preprocess: rebuilding subgraph: %w", err)
+		}
+	}
+	newTerms := make([]int, 0, len(terms))
+	for i, it := range isTerm {
+		if it {
+			newTerms = append(newTerms, remap[i])
+		}
+	}
+	ts2, err := ugraph.NewTerminals(sg, newTerms)
+	if err != nil {
+		return nil, err
+	}
+	return &Subproblem{
+		G:                    sg,
+		Terminals:            ts2,
+		VertexMap:            outMap,
+		EdgesBeforeTransform: before,
+	}, nil
+}
+
+func dedupInts(xs []int) []int {
+	if len(xs) == 0 {
+		return xs
+	}
+	w := 1
+	for i := 1; i < len(xs); i++ {
+		if xs[i] != xs[i-1] {
+			xs[w] = xs[i]
+			w++
+		}
+	}
+	return xs[:w]
+}
+
+// transform applies the paper's three rewrites to a fixpoint (Algorithm 3):
+// loop deletion, series contraction of degree-2 non-terminals, and parallel
+// edge merging. Reliability is preserved exactly. A worklist over incidence
+// lists keeps the pass near-linear; the naive restart-per-rewrite scan is
+// quadratic on road networks, which are mostly chains of degree-2 vertices.
+func transform(n int, edges []ugraph.Edge, isTerm []bool) []ugraph.Edge {
+	type tedge struct {
+		u, v  int
+		p     float64
+		alive bool
+	}
+	es := make([]tedge, len(edges))
+	inc := make([][]int32, n) // may contain dead or stale entries
+	for i, e := range edges {
+		es[i] = tedge{u: e.U, v: e.V, p: e.P, alive: true}
+		inc[e.U] = append(inc[e.U], int32(i))
+		if e.V != e.U {
+			inc[e.V] = append(inc[e.V], int32(i))
+		}
+	}
+	other := func(i, v int) int {
+		if es[i].u == v {
+			return es[i].v
+		}
+		return es[i].u
+	}
+
+	// liveAt compacts v's incidence list in place and returns it.
+	liveAt := func(v int) []int32 {
+		w := 0
+		for _, ei := range inc[v] {
+			e := &es[ei]
+			if e.alive && (e.u == v || e.v == v) {
+				inc[v][w] = ei
+				w++
+			}
+		}
+		inc[v] = inc[v][:w]
+		return inc[v]
+	}
+
+	queue := make([]int32, 0, n)
+	inQueue := make([]bool, n)
+	push := func(v int) {
+		if !inQueue[v] {
+			inQueue[v] = true
+			queue = append(queue, int32(v))
+		}
+	}
+	for v := 0; v < n; v++ {
+		push(v)
+	}
+
+	for len(queue) > 0 {
+		v := int(queue[len(queue)-1])
+		queue = queue[:len(queue)-1]
+		inQueue[v] = false
+
+		// Drop self-loops and merge parallel edges at v.
+		ids := liveAt(v)
+		w := 0
+		firstTo := make(map[int]int32, len(ids))
+		changedNeighbour := false
+		for _, ei := range ids {
+			o := other(int(ei), v)
+			if o == v {
+				es[ei].alive = false // loop
+				continue
+			}
+			if j, ok := firstTo[o]; ok {
+				es[j].p = 1 - (1-es[j].p)*(1-es[ei].p)
+				es[ei].alive = false
+				changedNeighbour = true
+				continue
+			}
+			firstTo[o] = ei
+			ids[w] = ei
+			w++
+		}
+		inc[v] = ids[:w]
+		if changedNeighbour {
+			// Neighbour degrees dropped; they may now be contractible.
+			for o := range firstTo {
+				push(o)
+			}
+		}
+
+		// Series contraction of a degree-2 non-terminal.
+		if len(inc[v]) == 2 && !isTerm[v] {
+			i1, i2 := int(inc[v][0]), int(inc[v][1])
+			a, b := other(i1, v), other(i2, v)
+			es[i2].alive = false
+			es[i1].u, es[i1].v = a, b
+			es[i1].p = es[i1].p * es[i2].p
+			inc[v] = inc[v][:0]
+			if a == b {
+				es[i1].alive = false // became a loop
+				push(a)
+			} else {
+				inc[b] = append(inc[b], int32(i1))
+				// a keeps i1 in its list already; both endpoints may now
+				// have parallel edges or become contractible.
+				push(a)
+				push(b)
+			}
+		}
+	}
+
+	out := make([]ugraph.Edge, 0, len(es))
+	for _, e := range es {
+		if e.alive {
+			out = append(out, ugraph.Edge{U: e.u, V: e.v, P: e.p})
+		}
+	}
+	return out
+}

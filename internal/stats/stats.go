@@ -1,0 +1,107 @@
+// Package stats implements the accuracy metrics of the paper's Section 7.6:
+// variance and error rate of repeated approximations against exact values,
+// plus a Welford accumulator for streaming summaries.
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Welford accumulates a running mean and variance in one pass.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation in.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the observation count.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 for no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance.
+func (w *Welford) Variance() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// SampleVariance returns the Bessel-corrected variance.
+func (w *Welford) SampleVariance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Accuracy evaluates repeated approximations against exact references using
+// the paper's definitions:
+//
+//	variance   = ΣᵢΣⱼ (Rᵢ − R̂ᵢⱼ)² / (q1·q2)
+//	error rate = ΣᵢΣⱼ |Rᵢ − R̂ᵢⱼ| / (q1·q2·Rᵢ)
+//
+// exact has length q1 (one per search); estimates[i] holds the q2 repeated
+// approximations of search i.
+type Accuracy struct {
+	Variance  float64
+	ErrorRate float64
+	Searches  int
+	Repeats   int
+}
+
+// ErrShape reports mismatched evaluation inputs.
+var ErrShape = errors.New("stats: estimates shape does not match exact values")
+
+// EvalAccuracy computes the paper's accuracy metrics. Searches with exact
+// reliability zero contribute |R−R̂|/max(R, floor) with floor=1e-300 to the
+// error rate only if an estimate is nonzero; an exact zero matched by zero
+// estimates contributes zero error (the natural reading, and the case never
+// arises in the paper's tables where all exact values are positive).
+func EvalAccuracy(exact []float64, estimates [][]float64) (Accuracy, error) {
+	q1 := len(exact)
+	if q1 == 0 || len(estimates) != q1 {
+		return Accuracy{}, ErrShape
+	}
+	q2 := len(estimates[0])
+	if q2 == 0 {
+		return Accuracy{}, ErrShape
+	}
+	varSum, errSum := 0.0, 0.0
+	for i, r := range exact {
+		if len(estimates[i]) != q2 {
+			return Accuracy{}, ErrShape
+		}
+		for _, rhat := range estimates[i] {
+			d := r - rhat
+			varSum += d * d
+			if d != 0 {
+				den := r
+				if den <= 0 {
+					den = 1e-300
+				}
+				errSum += math.Abs(d) / den
+			}
+		}
+	}
+	n := float64(q1 * q2)
+	return Accuracy{
+		Variance:  varSum / n,
+		ErrorRate: errSum / n,
+		Searches:  q1,
+		Repeats:   q2,
+	}, nil
+}

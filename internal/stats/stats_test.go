@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordMatchesDirect(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	f := func(_ int) bool {
+		n := 1 + r.IntN(50)
+		xs := make([]float64, n)
+		var w Welford
+		for i := range xs {
+			xs[i] = r.Float64()*10 - 5
+			w.Add(xs[i])
+		}
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(n)
+		varSum := 0.0
+		for _, x := range xs {
+			varSum += (x - mean) * (x - mean)
+		}
+		direct := varSum / float64(n)
+		return math.Abs(w.Mean()-mean) < 1e-10 && math.Abs(w.Variance()-direct) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.SampleVariance() != 0 {
+		t.Fatal("empty accumulator must be zero")
+	}
+	w.Add(3)
+	if w.Mean() != 3 || w.Variance() != 0 || w.SampleVariance() != 0 || w.N() != 1 {
+		t.Fatal("single observation wrong")
+	}
+}
+
+func TestEvalAccuracyKnown(t *testing.T) {
+	exact := []float64{0.5, 0.25}
+	estimates := [][]float64{
+		{0.5, 0.6}, // errors 0, 0.1
+		{0.25, 0.2},
+	}
+	acc, err := EvalAccuracy(exact, estimates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVar := (0 + 0.01 + 0 + 0.0025) / 4
+	wantErr := (0 + 0.1/0.5 + 0 + 0.05/0.25) / 4
+	if math.Abs(acc.Variance-wantVar) > 1e-12 {
+		t.Fatalf("variance = %v, want %v", acc.Variance, wantVar)
+	}
+	if math.Abs(acc.ErrorRate-wantErr) > 1e-12 {
+		t.Fatalf("error rate = %v, want %v", acc.ErrorRate, wantErr)
+	}
+	if acc.Searches != 2 || acc.Repeats != 2 {
+		t.Fatalf("shape: %+v", acc)
+	}
+}
+
+func TestEvalAccuracyExactRuns(t *testing.T) {
+	// All estimates exactly right: both metrics zero (Table 4's Pro rows).
+	exact := []float64{0.1, 0.9}
+	estimates := [][]float64{{0.1, 0.1}, {0.9, 0.9}}
+	acc, err := EvalAccuracy(exact, estimates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Variance != 0 || acc.ErrorRate != 0 {
+		t.Fatalf("exact runs must give zero metrics: %+v", acc)
+	}
+}
+
+func TestEvalAccuracyZeroReliabilityAllZeroEstimates(t *testing.T) {
+	acc, err := EvalAccuracy([]float64{0}, [][]float64{{0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.ErrorRate != 0 {
+		t.Fatalf("zero matched by zero must be zero error, got %v", acc.ErrorRate)
+	}
+}
+
+func TestEvalAccuracyShapeErrors(t *testing.T) {
+	if _, err := EvalAccuracy(nil, nil); err == nil {
+		t.Error("empty inputs accepted")
+	}
+	if _, err := EvalAccuracy([]float64{1}, [][]float64{}); err == nil {
+		t.Error("mismatched q1 accepted")
+	}
+	if _, err := EvalAccuracy([]float64{1, 2}, [][]float64{{1}, {}}); err == nil {
+		t.Error("ragged estimates accepted")
+	}
+	if _, err := EvalAccuracy([]float64{1}, [][]float64{{}}); err == nil {
+		t.Error("zero repeats accepted")
+	}
+}

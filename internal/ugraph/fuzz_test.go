@@ -1,0 +1,55 @@
+package ugraph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadTSV hardens the parser: arbitrary input must either parse into a
+// graph that re-serializes losslessly or fail with an error — never panic.
+func FuzzReadTSV(f *testing.F) {
+	f.Add("n 3\n0 1 0.5\n1 2 0.25\n")
+	f.Add("# comment\nn 2\n0 1 1\n")
+	f.Add("n 0\n")
+	f.Add("")
+	f.Add("n x\n")
+	f.Add("0 1 0.5\n")
+	f.Add("n 2\n0 1 0.5\nn 3\n")
+	f.Add("n 2\n0 1 nan\n")
+	f.Add("n 2\n0 1 -0.5\n")
+	f.Add("n 1000000000000000000000\n")
+	f.Add("n 2\n0\t1\t0.5\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadTSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Parsed graphs must satisfy the structural invariants the parser
+		// promises (vertex ranges, probability ranges).
+		for _, e := range g.Edges() {
+			if e.U < 0 || e.U >= g.N() || e.V < 0 || e.V >= g.N() {
+				t.Fatalf("parser admitted out-of-range edge %+v with n=%d", e, g.N())
+			}
+			if !(e.P > 0 && e.P <= 1) {
+				t.Fatalf("parser admitted probability %v", e.P)
+			}
+		}
+		// Round trip: write and re-read must reproduce the graph.
+		var sb strings.Builder
+		if err := WriteTSV(&sb, g); err != nil {
+			t.Fatalf("WriteTSV of parsed graph failed: %v", err)
+		}
+		g2, err := ReadTSV(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d", g2.N(), g2.M(), g.N(), g.M())
+		}
+		for i := range g.Edges() {
+			if g.Edge(i) != g2.Edge(i) {
+				t.Fatalf("round trip changed edge %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package ugraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The on-disk format is a line-oriented TSV mirroring the KONECT exports the
+// paper uses:
+//
+//	# comment lines start with '#'
+//	n <vertexCount>
+//	<u> <v> <p>
+//
+// Fields are separated by any run of spaces or tabs. Vertex ids are 0-based.
+
+// ReadTSV parses a graph from r.
+func ReadTSV(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var g *Graph
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if fields[0] == "n" {
+			if g != nil {
+				return nil, fmt.Errorf("ugraph: line %d: duplicate vertex-count header", line)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("ugraph: line %d: malformed header %q", line, text)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("ugraph: line %d: bad vertex count %q", line, fields[1])
+			}
+			g = New(n)
+			continue
+		}
+		if g == nil {
+			return nil, fmt.Errorf("ugraph: line %d: edge before 'n <count>' header", line)
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("ugraph: line %d: want 'u v p', got %q", line, text)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("ugraph: line %d: bad vertex %q", line, fields[0])
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("ugraph: line %d: bad vertex %q", line, fields[1])
+		}
+		p, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("ugraph: line %d: bad probability %q", line, fields[2])
+		}
+		if _, err := g.AddEdge(u, v, p); err != nil {
+			return nil, fmt.Errorf("ugraph: line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("ugraph: no 'n <count>' header found")
+	}
+	return g, nil
+}
+
+// WriteTSV serializes g to w in the format accepted by ReadTSV.
+func WriteTSV(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "n %d\n", g.N()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\t%s\n", e.U, e.V,
+			strconv.FormatFloat(e.P, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,183 @@
+package unionfind
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestDSUBasic(t *testing.T) {
+	d := New(5)
+	if d.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", d.Count())
+	}
+	if !d.Union(0, 1) {
+		t.Fatal("first union must merge")
+	}
+	if d.Union(1, 0) {
+		t.Fatal("repeat union must not merge")
+	}
+	if !d.Same(0, 1) || d.Same(0, 2) {
+		t.Fatal("Same wrong after one union")
+	}
+	d.Union(2, 3)
+	d.Union(0, 3)
+	if d.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", d.Count())
+	}
+	if !d.Same(1, 2) {
+		t.Fatal("transitive connectivity broken")
+	}
+}
+
+func TestDSUReset(t *testing.T) {
+	d := New(4)
+	d.Union(0, 1)
+	d.Union(2, 3)
+	d.Reset()
+	if d.Count() != 4 || d.Same(0, 1) || d.Same(2, 3) {
+		t.Fatal("Reset did not restore singletons")
+	}
+}
+
+func TestDSUSingleElement(t *testing.T) {
+	d := New(1)
+	if d.Find(0) != 0 || d.Count() != 1 {
+		t.Fatal("single-element DSU broken")
+	}
+}
+
+func TestArenaBasic(t *testing.T) {
+	a := NewArena(6)
+	a.Union(0, 1)
+	a.Union(1, 2)
+	if !a.Same(0, 2) || a.Same(0, 3) {
+		t.Fatal("Arena connectivity wrong")
+	}
+	a.Reset()
+	for i := 0; i < 6; i++ {
+		if a.Find(i) != i {
+			t.Fatalf("after Reset Find(%d) = %d", i, a.Find(i))
+		}
+	}
+}
+
+func TestArenaRepeatedResetCycles(t *testing.T) {
+	a := NewArena(50)
+	r := rand.New(rand.NewPCG(42, 0))
+	for cycle := 0; cycle < 100; cycle++ {
+		d := New(50) // reference
+		for i := 0; i < 80; i++ {
+			x, y := r.IntN(50), r.IntN(50)
+			ga := a.Union(x, y)
+			gd := d.Union(x, y)
+			if ga != gd {
+				t.Fatalf("cycle %d: Union(%d,%d) arena=%v dsu=%v", cycle, x, y, ga, gd)
+			}
+		}
+		for i := 0; i < 50; i++ {
+			for j := i + 1; j < 50; j += 7 {
+				if a.Same(i, j) != d.Same(i, j) {
+					t.Fatalf("cycle %d: Same(%d,%d) differs", cycle, i, j)
+				}
+			}
+		}
+		a.Reset()
+	}
+}
+
+// TestPropertyDSUEquivalentToNaive checks DSU connectivity against a naive
+// adjacency-matrix transitive closure on random union sequences.
+func TestPropertyDSUEquivalentToNaive(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 7))
+	f := func(_ int) bool {
+		n := 2 + r.IntN(12)
+		d := New(n)
+		reach := make([][]bool, n)
+		for i := range reach {
+			reach[i] = make([]bool, n)
+			reach[i][i] = true
+		}
+		ops := r.IntN(20)
+		for k := 0; k < ops; k++ {
+			x, y := r.IntN(n), r.IntN(n)
+			d.Union(x, y)
+			// naive: connect x,y then recompute closure
+			reach[x][y], reach[y][x] = true, true
+			for {
+				changed := false
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						if !reach[i][j] {
+							continue
+						}
+						for l := 0; l < n; l++ {
+							if reach[j][l] && !reach[i][l] {
+								reach[i][l] = true
+								changed = true
+							}
+						}
+					}
+				}
+				if !changed {
+					break
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if d.Same(i, j) != reach[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDSUCountMatchesComponents(t *testing.T) {
+	d := New(10)
+	edges := [][2]int{{0, 1}, {1, 2}, {3, 4}, {5, 6}, {6, 7}, {7, 5}}
+	for _, e := range edges {
+		d.Union(e[0], e[1])
+	}
+	// components: {0,1,2} {3,4} {5,6,7} {8} {9} = 5
+	if d.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", d.Count())
+	}
+}
+
+func BenchmarkArenaUnionReset(b *testing.B) {
+	a := NewArena(1000)
+	r := rand.New(rand.NewPCG(1, 1))
+	pairs := make([][2]int, 500)
+	for i := range pairs {
+		pairs[i] = [2]int{r.IntN(1000), r.IntN(1000)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range pairs {
+			a.Union(p[0], p[1])
+		}
+		a.Reset()
+	}
+}
+
+func BenchmarkDSUUnionFullReset(b *testing.B) {
+	d := New(1000)
+	r := rand.New(rand.NewPCG(1, 1))
+	pairs := make([][2]int, 500)
+	for i := range pairs {
+		pairs[i] = [2]int{r.IntN(1000), r.IntN(1000)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range pairs {
+			d.Union(p[0], p[1])
+		}
+		d.Reset()
+	}
+}

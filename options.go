@@ -1,0 +1,216 @@
+package netrel
+
+import (
+	"fmt"
+
+	"netrel/internal/estimator"
+	"netrel/internal/order"
+)
+
+// Estimator selects the sampling estimator.
+type Estimator int
+
+const (
+	// EstimatorMonteCarlo is the sample-mean estimator (the default).
+	EstimatorMonteCarlo Estimator = iota
+	// EstimatorHorvitzThompson weights samples by inverse inclusion
+	// probability; slightly better for sampling without replacement.
+	EstimatorHorvitzThompson
+)
+
+// Ordering selects the edge processing order used by the S2BDD and the BDD
+// baseline.
+type Ordering int
+
+const (
+	// OrderBFS orders edges along a breadth-first traversal (default; keeps
+	// the BDD frontier small on road-like graphs).
+	OrderBFS Ordering = iota
+	// OrderNatural keeps input order.
+	OrderNatural
+	// OrderDFS uses a depth-first traversal.
+	OrderDFS
+	// OrderDegree visits high-degree vertices first.
+	OrderDegree
+	// OrderRCM uses a reverse Cuthill–McKee vertex ordering (bandwidth
+	// minimization), often the narrowest frontier on mesh-like graphs.
+	OrderRCM
+)
+
+func (o Ordering) strategy() order.Strategy {
+	switch o {
+	case OrderNatural:
+		return order.Natural
+	case OrderDFS:
+		return order.DFS
+	case OrderDegree:
+		return order.Degree
+	case OrderRCM:
+		return order.RCM
+	default:
+		return order.BFS
+	}
+}
+
+// options collects the configuration of a reliability computation.
+type options struct {
+	samples        int
+	maxWidth       int
+	est            Estimator
+	seed           uint64
+	workers        int
+	ordering       Ordering
+	noExtension    bool
+	noEarlyTerm    bool
+	noHeuristic    bool
+	noStall        bool
+	noReduction    bool
+	stallWindow    int
+	stallThreshold float64
+	bddBudget      int
+}
+
+func defaultOptions() options {
+	return options{
+		samples:  10_000,
+		maxWidth: 10_000,
+	}
+}
+
+// Option configures Reliability, Exact, MonteCarlo and BDDExact.
+type Option func(*options) error
+
+// WithSamples sets the sample budget s (default 10,000). The S2BDD reduces
+// it to s′ per Theorem 1.
+func WithSamples(s int) Option {
+	return func(o *options) error {
+		if s < 0 {
+			return fmt.Errorf("netrel: negative sample count %d", s)
+		}
+		o.samples = s
+		return nil
+	}
+}
+
+// WithMaxWidth sets the maximum S2BDD layer width w (default 10,000).
+func WithMaxWidth(w int) Option {
+	return func(o *options) error {
+		if w <= 0 {
+			return fmt.Errorf("netrel: max width must be positive, got %d", w)
+		}
+		o.maxWidth = w
+		return nil
+	}
+}
+
+// WithEstimator selects the estimator (default Monte Carlo).
+func WithEstimator(e Estimator) Option {
+	return func(o *options) error {
+		if e != EstimatorMonteCarlo && e != EstimatorHorvitzThompson {
+			return fmt.Errorf("netrel: unknown estimator %d", e)
+		}
+		o.est = e
+		return nil
+	}
+}
+
+// WithSeed fixes the random stream; identical inputs and options then yield
+// identical results.
+func WithSeed(seed uint64) Option {
+	return func(o *options) error {
+		o.seed = seed
+		return nil
+	}
+}
+
+// WithWorkers sets sampling parallelism for the Monte Carlo baseline
+// (default GOMAXPROCS). The S2BDD itself is sequential and deterministic.
+func WithWorkers(n int) Option {
+	return func(o *options) error {
+		o.workers = n
+		return nil
+	}
+}
+
+// WithOrdering selects the edge processing order (default BFS).
+func WithOrdering(ord Ordering) Option {
+	return func(o *options) error {
+		o.ordering = ord
+		return nil
+	}
+}
+
+// WithoutExtension disables the 2-edge-connected-component preprocessing
+// (prune/decompose/transform); the paper's "Pro(MC) w/o ext" configuration.
+func WithoutExtension() Option {
+	return func(o *options) error {
+		o.noExtension = true
+		return nil
+	}
+}
+
+// WithoutEarlyTermination, WithoutHeuristic, WithoutStall and
+// WithoutSampleReduction disable individual S2BDD mechanisms for ablation
+// studies; production callers should not need them.
+func WithoutEarlyTermination() Option {
+	return func(o *options) error { o.noEarlyTerm = true; return nil }
+}
+
+// WithoutHeuristic deletes overflow nodes in arrival order instead of by
+// priority h(n).
+func WithoutHeuristic() Option {
+	return func(o *options) error { o.noHeuristic = true; return nil }
+}
+
+// WithoutStall forces construction through every layer.
+func WithoutStall() Option {
+	return func(o *options) error { o.noStall = true; return nil }
+}
+
+// WithoutSampleReduction ignores Theorem 1 and always draws s samples.
+func WithoutSampleReduction() Option {
+	return func(o *options) error { o.noReduction = true; return nil }
+}
+
+// WithStall tunes the construction early-exit: if the resolved probability
+// mass grows by less than threshold over window layers, the S2BDD stops
+// constructing and samples the remaining nodes.
+func WithStall(window int, threshold float64) Option {
+	return func(o *options) error {
+		if window <= 0 || threshold <= 0 {
+			return fmt.Errorf("netrel: stall parameters must be positive")
+		}
+		o.stallWindow = window
+		o.stallThreshold = threshold
+		return nil
+	}
+}
+
+// WithBDDNodeBudget caps the exact BDD baseline's total node count, after
+// which it fails with a memory-limit error (the paper's DNF).
+func WithBDDNodeBudget(nodes int) Option {
+	return func(o *options) error {
+		if nodes <= 0 {
+			return fmt.Errorf("netrel: node budget must be positive")
+		}
+		o.bddBudget = nodes
+		return nil
+	}
+}
+
+func buildOptions(opts []Option) (options, error) {
+	o := defaultOptions()
+	for _, fn := range opts {
+		if err := fn(&o); err != nil {
+			return o, err
+		}
+	}
+	return o, nil
+}
+
+func (o *options) estimatorKind() estimator.Kind {
+	if o.est == EstimatorHorvitzThompson {
+		return estimator.HorvitzThompson
+	}
+	return estimator.MonteCarlo
+}

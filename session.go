@@ -1,0 +1,98 @@
+package netrel
+
+import (
+	"math"
+	"time"
+
+	"netrel/internal/preprocess"
+	"netrel/internal/ugraph"
+)
+
+// Session caches per-graph preprocessing across reliability queries. The
+// extension technique's 2-edge-connected-component index depends only on
+// topology, so the paper precomputes it once per graph ("we precompute them
+// as an index", Section 5); a Session does the same, which matters on large
+// graphs where index construction costs close to a full sampling pass.
+//
+// The Session shares the Graph; the graph must not be modified while the
+// session is in use. Sessions are safe for concurrent queries (the index is
+// read-only after construction).
+type Session struct {
+	g   *Graph
+	idx *preprocess.Index
+}
+
+// NewSession builds the topology index for g eagerly and returns a query
+// session.
+func NewSession(g *Graph) *Session {
+	return &Session{g: g, idx: preprocess.BuildIndex(g.internal())}
+}
+
+// Graph returns the underlying graph.
+func (s *Session) Graph() *Graph { return s.g }
+
+// Reliability runs the full pipeline like the package-level Reliability,
+// reusing the session's precomputed index.
+func (s *Session) Reliability(terminals []int, opts ...Option) (*Result, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return runWithIndex(s.g, terminals, o, false, s.idx)
+}
+
+// Exact runs the exact pipeline like the package-level Exact, reusing the
+// session's precomputed index.
+func (s *Session) Exact(terminals []int, opts ...Option) (*Result, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return runWithIndex(s.g, terminals, o, true, s.idx)
+}
+
+// run executes the Algorithm 1 pipeline, building the index on the fly.
+func run(g *Graph, terminals []int, o options, exactOnly bool) (*Result, error) {
+	return runWithIndex(g, terminals, o, exactOnly, nil)
+}
+
+// runWithIndex is the pipeline body shared by the package-level entry
+// points (idx == nil: build per call) and Session (idx precomputed).
+func runWithIndex(g *Graph, terminals []int, o options, exactOnly bool, idx *preprocess.Index) (*Result, error) {
+	ts, err := ugraph.NewTerminals(g.internal(), terminals)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	out := &Result{SamplesRequested: o.samples}
+
+	var jobs []pipelineJob
+	factor := xfloatOne()
+
+	if o.noExtension {
+		jobs = append(jobs, pipelineJob{g: g.internal(), ts: ts})
+	} else {
+		prepStart := time.Now()
+		prep, err := preprocess.Run(g.internal(), ts, idx)
+		if err != nil {
+			return nil, err
+		}
+		out.Preprocess = &PreprocessStats{
+			OriginalEdges:    prep.OriginalEdges,
+			MaxSubgraphEdges: prep.MaxSubgraphEdges,
+			ReducedRatio:     prep.ReducedRatio,
+			Duration:         time.Since(prepStart),
+		}
+		if prep.Disconnected {
+			out.Exact = true
+			out.Log10 = math.Inf(-1)
+			out.Duration = time.Since(start)
+			return out, nil
+		}
+		factor = prep.PB
+		for _, sub := range prep.Subproblems {
+			jobs = append(jobs, pipelineJob{g: sub.G, ts: sub.Terminals})
+		}
+	}
+	return finishPipeline(out, jobs, factor, o, exactOnly, start)
+}

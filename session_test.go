@@ -1,0 +1,134 @@
+package netrel
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSessionMatchesDirectCalls(t *testing.T) {
+	g := bridgeOfTriangles(t)
+	s := NewSession(g)
+
+	direct, err := Reliability(g, []int{0, 5}, WithSamples(5000), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSession, err := s.Reliability([]int{0, 5}, WithSamples(5000), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Reliability != viaSession.Reliability || direct.Exact != viaSession.Exact {
+		t.Fatalf("session diverged: %v vs %v", direct.Reliability, viaSession.Reliability)
+	}
+
+	exactDirect, err := Exact(g, []int{0, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactSession, err := s.Exact([]int{0, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exactDirect.Reliability != exactSession.Reliability {
+		t.Fatal("session exact diverged")
+	}
+	if s.Graph() != g {
+		t.Fatal("Graph accessor wrong")
+	}
+}
+
+func TestSessionMultipleTerminalSets(t *testing.T) {
+	g := bridgeOfTriangles(t)
+	s := NewSession(g)
+	sets := [][]int{{0, 5}, {1, 4}, {0, 1, 2}, {3, 4, 5}, {2, 3}}
+	for _, terms := range sets {
+		res, err := s.Exact(terms)
+		if err != nil {
+			t.Fatalf("terminals %v: %v", terms, err)
+		}
+		want, err := Exact(g, terms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reliability != want.Reliability {
+			t.Fatalf("terminals %v: session %v vs direct %v", terms, res.Reliability, want.Reliability)
+		}
+	}
+}
+
+func TestSessionConcurrentQueries(t *testing.T) {
+	g := bridgeOfTriangles(t)
+	s := NewSession(g)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	vals := make([]float64, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := s.Reliability([]int{0, 5}, WithSamples(2000), WithSeed(9))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			vals[i] = res.Reliability
+		}(i)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if vals[i] != vals[0] {
+			t.Fatal("concurrent session queries diverged")
+		}
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	g := bridgeOfTriangles(t)
+	s := NewSession(g)
+	if _, err := s.Reliability(nil); err == nil {
+		t.Error("empty terminals accepted")
+	}
+	if _, err := s.Reliability([]int{0}, WithSamples(-1)); err == nil {
+		t.Error("bad option accepted")
+	}
+}
+
+func BenchmarkSessionReuseVsRebuild(b *testing.B) {
+	// The value of the session: index construction is paid once. On larger
+	// graphs (NYC: 0.8 s prep) the gap is dramatic; this bench shows it on
+	// a mid-size graph.
+	g := NewGraph(2000)
+	for v := 1; v < 2000; v++ {
+		if err := g.AddEdge((v*7)%v, v, 0.6); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 1500; i++ {
+		u, v := (i*13)%2000, (i*37+11)%2000
+		if u != v {
+			if err := g.AddEdge(u, v, 0.6); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	terms := []int{0, 1000, 1999}
+	b.Run("rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Reliability(g, terms, WithSamples(100), WithSeed(uint64(i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("session", func(b *testing.B) {
+		s := NewSession(g)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Reliability(terms, WithSamples(100), WithSeed(uint64(i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
