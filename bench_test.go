@@ -2,6 +2,15 @@
 // table/figure, plus ablation benches for the design choices DESIGN.md
 // calls out. Dataset sizes use the Small scale so the full suite runs in
 // minutes; `cmd/experiments -scale medium|full` reproduces larger runs.
+//
+// The parallel-scaling families are run with
+//
+//	go test -bench 'BenchmarkParallel' -benchtime 3x .
+//
+// BenchmarkParallelS2BDD measures the stratified-sampling hot path at
+// growing worker counts (workers=1 is the sequential baseline; identical
+// results, different wall-clock) and BenchmarkParallelSampling does the
+// same for the Monte Carlo baseline.
 package netrel_test
 
 import (
@@ -270,6 +279,29 @@ func BenchmarkAblationMechanisms(b *testing.B) {
 					netrel.WithSamples(1000), netrel.WithSeed(uint64(i)),
 				}, extra...)
 				if _, err := netrel.Reliability(g, ts, opts...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelS2BDD measures the parallel stratified-sampling phase on
+// a large stratum workload: a tiny width on a road network deletes nodes at
+// nearly every layer, and with Theorem 1 reduction disabled every stratum
+// keeps its full draw allocation, so almost all time is completion draws —
+// the part WithWorkers now spreads across cores. workers=1 is the
+// sequential baseline; every row computes bit-identical estimates.
+func BenchmarkParallelS2BDD(b *testing.B) {
+	g := dataset(b, "Tokyo")
+	ts := terminals(b, g, 10, 23)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := netrel.Reliability(g, ts,
+					netrel.WithSamples(20_000), netrel.WithMaxWidth(64),
+					netrel.WithoutSampleReduction(),
+					netrel.WithWorkers(workers), netrel.WithSeed(7)); err != nil {
 					b.Fatal(err)
 				}
 			}

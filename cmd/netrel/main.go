@@ -37,17 +37,18 @@ func main() {
 		samples   = flag.Int("samples", 10000, "sample budget s")
 		width     = flag.Int("width", 10000, "maximum S2BDD width w")
 		seed      = flag.Uint64("seed", 0, "random seed")
+		workers   = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS; results are identical for any value)")
 		verbose   = flag.Bool("v", false, "print run statistics")
 	)
 	flag.Parse()
 
-	if err := run(*graphPath, *termSpec, *method, *samples, *width, *seed, *verbose); err != nil {
+	if err := run(*graphPath, *termSpec, *method, *samples, *width, *seed, *workers, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "netrel:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath, termSpec, method string, samples, width int, seed uint64, verbose bool) error {
+func run(graphPath, termSpec, method string, samples, width int, seed uint64, workers int, verbose bool) error {
 	var in io.Reader = os.Stdin
 	if graphPath != "-" {
 		f, err := os.Open(graphPath)
@@ -70,6 +71,7 @@ func run(graphPath, termSpec, method string, samples, width int, seed uint64, ve
 		netrel.WithSamples(samples),
 		netrel.WithMaxWidth(width),
 		netrel.WithSeed(seed),
+		netrel.WithWorkers(workers),
 	}
 	var res *netrel.Result
 	switch method {
@@ -85,7 +87,7 @@ func run(graphPath, termSpec, method string, samples, width int, seed uint64, ve
 	case "exact":
 		res, err = netrel.Exact(g, terms, common...)
 	case "bdd":
-		res, err = netrel.BDDExact(g, terms)
+		res, err = netrel.BDDExact(g, terms, netrel.WithWorkers(workers))
 	case "factor":
 		res, err = netrel.Factoring(g, terms)
 	default:

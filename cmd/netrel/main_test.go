@@ -30,17 +30,17 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, method := range []string{"pro", "proNoExt", "mc", "ht", "exact", "bdd", "factor"} {
-		if err := run(path, "0,1", method, 1000, 1000, 1, false); err != nil {
+		if err := run(path, "0,1", method, 1000, 1000, 1, 2, false); err != nil {
 			t.Errorf("method %s: %v", method, err)
 		}
 	}
-	if err := run(path, "0,1", "bogus", 10, 10, 1, false); err == nil {
+	if err := run(path, "0,1", "bogus", 10, 10, 1, 0, false); err == nil {
 		t.Error("unknown method accepted")
 	}
-	if err := run(filepath.Join(dir, "missing.tsv"), "0,1", "mc", 10, 10, 1, false); err == nil {
+	if err := run(filepath.Join(dir, "missing.tsv"), "0,1", "mc", 10, 10, 1, 0, false); err == nil {
 		t.Error("missing file accepted")
 	}
-	if err := run(path, "0,1", "exact", 10, 100000, 1, true); err != nil {
+	if err := run(path, "0,1", "exact", 10, 100000, 1, 0, true); err != nil {
 		t.Errorf("verbose run failed: %v", err)
 	}
 }

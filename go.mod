@@ -1,0 +1,3 @@
+module netrel
+
+go 1.22

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"netrel/internal/frontier"
+	"netrel/internal/sampling"
 	"netrel/internal/ugraph"
 	"netrel/internal/xfloat"
 )
@@ -34,6 +35,11 @@ type Options struct {
 	// NodeBudget caps total nodes across all layers; ≤0 selects
 	// DefaultNodeBudget.
 	NodeBudget int
+	// Workers bounds the goroutines used to expand each layer; ≤0 selects
+	// GOMAXPROCS. Parents are chunked by fixed size and chunk results merge
+	// in chunk order, so the reliability is bit-identical for every worker
+	// count.
+	Workers int
 }
 
 // Result reports the exact reliability and construction statistics.
@@ -77,45 +83,52 @@ func Compute(g *ugraph.Graph, ts ugraph.Terminals, opts Options) (Result, error)
 		return Result{}, err
 	}
 
-	sc := frontier.NewScratch(plan)
+	workers := sampling.ClampWorkers(opts.Workers, 0)
 	cur := []node{{state: plan.Root(), p: xfloat.One}}
 	res := Result{Nodes: 1, PeakWidth: 1}
 	pc := xfloat.Zero
-	var scratch frontier.State
-	keyBuf := make([]byte, 0, 64)
 
 	for l := 0; l < plan.M(); l++ {
 		if len(cur) == 0 {
 			break
 		}
+		// Expand the layer in fixed-size parent chunks (worker-count
+		// independent), then merge chunk outputs in chunk order so the
+		// xfloat sums fold in a fixed sequence regardless of scheduling.
+		// The budget check happens at merge, where unique nodes are known
+		// (an in-flight check would count cross-chunk duplicates and DNF
+		// graphs the sequential construction could finish). The transient
+		// cost is bounded: a layer clones at most 2·len(cur) ≤ 2·budget
+		// states before the guard fires, versus ~budget sequentially.
+		nchunks := (len(cur) + parentChunk - 1) / parentChunk
+		outs := make([]chunkResult, nchunks)
+		sampling.ForEachChunk(nchunks, workers, func() func(int) {
+			sc := frontier.NewScratch(plan)
+			var scratch frontier.State
+			keyBuf := make([]byte, 0, 64)
+			return func(c int) {
+				lo := c * parentChunk
+				hi := min(lo+parentChunk, len(cur))
+				outs[c] = expandChunk(plan, l, cur[lo:hi], sc, &scratch, &keyBuf)
+			}
+		})
+
 		index := make(map[string]int, 2*len(cur))
 		next := make([]node, 0, 2*len(cur))
-		for i := range cur {
-			n := &cur[i]
-			e := plan.EdgeAt(l)
-			for _, exists := range [2]bool{false, true} {
-				w := 1 - e.P
-				if exists {
-					w = e.P
-				}
-				childP := n.p.MulFloat64(w)
-				switch plan.Apply(l, &n.state, exists, false, sc, &scratch) {
-				case frontier.OneSink:
-					pc = pc.Add(childP)
-				case frontier.ZeroSink:
-					// mass discarded
-				case frontier.Live:
-					keyBuf = scratch.Key(keyBuf[:0])
-					if j, ok := index[string(keyBuf)]; ok {
-						next[j].p = next[j].p.Add(childP)
-					} else {
-						index[string(keyBuf)] = len(next)
-						next = append(next, node{state: scratch.Clone(), p: childP})
-						res.Nodes++
-						if res.Nodes > budget {
-							return Result{}, fmt.Errorf("%w: >%d nodes at layer %d/%d",
-								ErrMemoryLimit, budget, l+1, plan.M())
-						}
+		for _, co := range outs {
+			if !co.pc.IsZero() {
+				pc = pc.Add(co.pc)
+			}
+			for _, en := range co.entries {
+				if j, ok := index[en.key]; ok {
+					next[j].p = next[j].p.Add(en.p)
+				} else {
+					index[en.key] = len(next)
+					next = append(next, node{state: en.state, p: en.p})
+					res.Nodes++
+					if res.Nodes > budget {
+						return Result{}, fmt.Errorf("%w: >%d nodes at layer %d/%d",
+							ErrMemoryLimit, budget, l+1, plan.M())
 					}
 				}
 			}

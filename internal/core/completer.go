@@ -14,10 +14,14 @@ import (
 // fixes the processed edges' effect as a component partition; a completion
 // instantiates the remaining edges (positions ≥ l) and tests whether all
 // terminal-carrying components and still-unseen terminals coalesce.
+//
+// A completer holds no random state of its own: complete takes the RNG as a
+// parameter so one completer per worker can serve many deterministic
+// per-chunk streams. A completer is not safe for concurrent use; the
+// parallel driver keeps one per worker slot.
 type completer struct {
 	plan *frontier.Plan
 	g    *ugraph.Graph
-	rng  *rand.Rand
 
 	// uf works over n vertex elements plus one element per node component
 	// (ids n..n+maxComps-1). Untouched vertices use their own element;
@@ -28,12 +32,11 @@ type completer struct {
 	layer int
 }
 
-func newCompleter(plan *frontier.Plan, seed uint64) *completer {
+func newCompleter(plan *frontier.Plan) *completer {
 	g := plan.Graph()
 	c := &completer{
 		plan:  plan,
 		g:     g,
-		rng:   rand.New(rand.NewPCG(seed, 0x5851f42d4c957f2d)),
 		uf:    unionfind.NewArena(g.N() + plan.MaxFrontier() + 2),
 		vslot: make([]int32, g.N()),
 		layer: -1,
@@ -70,12 +73,12 @@ func (c *completer) elem(st *frontier.State, v int) int {
 	return v
 }
 
-// complete draws one completion of st at the current layer. It returns
-// whether all terminals are connected in the completed possible graph, the
-// conditional probability of the drawn completion (product over remaining
-// edges), and a fingerprint of the completion's edge choices for HT
-// deduplication. needPr skips the probability product for the MC path.
-func (c *completer) complete(st *frontier.State, needPr bool) (connected bool, pr xfloat.F, fp uint64) {
+// complete draws one completion of st at the current layer using rng. It
+// returns whether all terminals are connected in the completed possible
+// graph, the conditional probability of the drawn completion (product over
+// remaining edges), and a fingerprint of the completion's edge choices for
+// HT deduplication. needPr skips the probability product for the MC path.
+func (c *completer) complete(st *frontier.State, needPr bool, rng *rand.Rand) (connected bool, pr xfloat.F, fp uint64) {
 	c.uf.Reset()
 	pr = xfloat.One
 	const (
@@ -87,7 +90,7 @@ func (c *completer) complete(st *frontier.State, needPr bool) (connected bool, p
 	for pos := c.layer; pos < len(ord); pos++ {
 		e := c.g.Edge(ord[pos])
 		fp *= fnvPrime
-		if c.rng.Float64() < e.P {
+		if rng.Float64() < e.P {
 			fp ^= 1
 			if needPr {
 				pr = pr.MulFloat64(e.P)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"math/rand/v2"
 	"testing"
 
 	"netrel/internal/frontier"
@@ -30,13 +31,14 @@ func TestCompleterFromRoot(t *testing.T) {
 	// Completing the root state (layer 0) is plain Monte Carlo over the
 	// whole graph: the path connects 0 and 3 with probability 0.125.
 	p := pathPlan(t)
-	c := newCompleter(p, 1)
+	c := newCompleter(p)
 	c.setLayer(0, nil)
 	root := p.Root()
+	rng := rand.New(rand.NewPCG(1, 99))
 	hits := 0
 	const n = 100000
 	for i := 0; i < n; i++ {
-		ok, _, _ := c.complete(&root, false)
+		ok, _, _ := c.complete(&root, false, rng)
 		if ok {
 			hits++
 		}
@@ -58,12 +60,13 @@ func TestCompleterMidLayerConditional(t *testing.T) {
 	if out := p.Apply(0, &root, true, true, sc, &st); out != frontier.Live {
 		t.Fatalf("unexpected outcome %v", out)
 	}
-	c := newCompleter(p, 2)
+	c := newCompleter(p)
 	c.setLayer(1, p.FrontierAt(1))
+	rng := rand.New(rand.NewPCG(1, 99))
 	hits := 0
 	const n = 100000
 	for i := 0; i < n; i++ {
-		ok, _, _ := c.complete(&st, false)
+		ok, _, _ := c.complete(&st, false, rng)
 		if ok {
 			hits++
 		}
@@ -79,11 +82,12 @@ func TestCompleterProbabilityProduct(t *testing.T) {
 	// remaining edges — on the 3-edge path from the root, one of the 8
 	// values {0.125}.
 	p := pathPlan(t)
-	c := newCompleter(p, 3)
+	c := newCompleter(p)
 	c.setLayer(0, nil)
 	root := p.Root()
+	rng := rand.New(rand.NewPCG(3, 99))
 	for i := 0; i < 50; i++ {
-		_, pr, _ := c.complete(&root, true)
+		_, pr, _ := c.complete(&root, true, rng)
 		if math.Abs(pr.Float64()-0.125) > 1e-12 {
 			t.Fatalf("completion probability %v, want 0.125 (all edges p=0.5)", pr.Float64())
 		}
@@ -92,12 +96,13 @@ func TestCompleterProbabilityProduct(t *testing.T) {
 
 func TestCompleterFingerprintsDistinguishWorlds(t *testing.T) {
 	p := pathPlan(t)
-	c := newCompleter(p, 4)
+	c := newCompleter(p)
 	c.setLayer(0, nil)
 	root := p.Root()
+	rng := rand.New(rand.NewPCG(4, 99))
 	byFP := map[uint64]bool{}
 	for i := 0; i < 200; i++ {
-		ok, _, fp := c.complete(&root, false)
+		ok, _, fp := c.complete(&root, false, rng)
 		if prev, seen := byFP[fp]; seen && prev != ok {
 			t.Fatal("same fingerprint with different connectivity")
 		}
@@ -111,7 +116,7 @@ func TestCompleterFingerprintsDistinguishWorlds(t *testing.T) {
 func TestCompleterSetLayerSwitches(t *testing.T) {
 	// Switching layers must fully clear the old vertex→slot mapping.
 	p := pathPlan(t)
-	c := newCompleter(p, 5)
+	c := newCompleter(p)
 	c.setLayer(1, p.FrontierAt(1))
 	c.setLayer(2, p.FrontierAt(2))
 	// Frontier at layer 2 is {2}; vertex 1 must no longer map to a slot.

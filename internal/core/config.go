@@ -54,6 +54,11 @@ type Config struct {
 	// ExactOnly makes the run fail with ErrNotExact instead of sampling if
 	// any node would be deleted or the stall rule would fire.
 	ExactOnly bool
+	// Workers bounds the goroutines used for the stratified completion
+	// sampling phase; ≤0 selects GOMAXPROCS. The sampling schedule is
+	// chunked deterministically by (Seed, layer, stratum, chunk) — never by
+	// worker — so results are bit-identical for every worker count.
+	Workers int
 
 	// Ablation switches (all default to the paper's configuration).
 

@@ -1,0 +1,139 @@
+// Parallel execution of the S2BDD stratified-sampling phase.
+//
+// Stratum completion is embarrassingly parallel: every draw is an
+// independent possible-graph completion of one deleted (or flushed) node.
+// The draws of a stratum are split into fixed-size chunks whose boundaries
+// depend only on the draw count; each chunk derives its own PCG stream from
+// (Seed, layer, stratum, chunk) and chunk results fold in chunk order. The
+// worker count therefore affects only the execution schedule, never the
+// arithmetic, making results bit-identical for every worker count.
+package core
+
+import (
+	"math/rand/v2"
+
+	"netrel/internal/estimator"
+	"netrel/internal/sampling"
+	"netrel/internal/xfloat"
+)
+
+// stratumChunk is the number of completion draws per deterministic work
+// unit. Small enough to load-balance a 10⁴-draw stratum across many cores,
+// large enough that per-chunk setup (an RNG and a frontier switch) is noise.
+const stratumChunk = 128
+
+// chunkStream is the per-chunk RNG stream constant (distinct from the
+// driver stream in Compute).
+const chunkStream = 0x5851f42d4c957f2d
+
+// numChunks is the single source of the chunk-boundary rule: callers size
+// their per-chunk result slots with it and forStratumChunks schedules with
+// it, so they cannot desynchronize.
+func numChunks(draws int) int {
+	return (draws + stratumChunk - 1) / stratumChunk
+}
+
+// completerSlot returns the worker-slot completer, creating it on first
+// use. Only the driver goroutine grows the slice (worker closures are built
+// before the pool starts), so no locking is needed.
+func (r *run) completerSlot(slot int) *completer {
+	for len(r.compls) <= slot {
+		r.compls = append(r.compls, newCompleter(r.plan))
+	}
+	return r.compls[slot]
+}
+
+// chunkRNG builds the deterministic stream for one (layer, stratum, chunk)
+// coordinate.
+func (r *run) chunkRNG(layer, stratum, chunk int) *rand.Rand {
+	seed := sampling.SeedStream(r.cfg.Seed, uint64(layer), uint64(stratum), uint64(chunk))
+	return rand.New(rand.NewPCG(seed, chunkStream))
+}
+
+// forStratumChunks runs do(completer, rng, chunk, n) for every chunk of the
+// stratum's draw budget (n = draws in that chunk) across up to r.workers
+// goroutines. Each worker owns one completer (union-find arena + frontier
+// map), switched to the stratum's layer before its first chunk; each chunk
+// owns its RNG. Chunk boundaries depend only on draws.
+func (r *run) forStratumChunks(layer int, front []int32, stratum, draws int, do func(c *completer, rng *rand.Rand, chunk, n int)) {
+	nchunks := numChunks(draws)
+	slot := 0
+	sampling.ForEachChunk(nchunks, r.workers, func() func(int) {
+		comp := r.completerSlot(slot)
+		slot++
+		comp.setLayer(layer, front)
+		return func(chunk int) {
+			n := stratumChunk
+			if last := draws - chunk*stratumChunk; last < n {
+				n = last
+			}
+			do(comp, r.chunkRNG(layer, stratum, chunk), chunk, n)
+		}
+	})
+}
+
+// completeChunksMC draws the stratum's completions with the Monte Carlo
+// estimator and returns the connected count (an integer sum, so reduction
+// order is immaterial).
+func (r *run) completeChunksMC(layer int, front []int32, stratum, draws int, snaps []snapshot, pick func(*rand.Rand) int) int {
+	conn := make([]int, numChunks(draws))
+	r.forStratumChunks(layer, front, stratum, draws, func(comp *completer, rng *rand.Rand, chunk, n int) {
+		h := 0
+		for i := 0; i < n; i++ {
+			s := &snaps[pick(rng)]
+			if ok, _, _ := comp.complete(&s.state, false, rng); ok {
+				h++
+			}
+		}
+		conn[chunk] = h
+	})
+	total := 0
+	for _, h := range conn {
+		total += h
+	}
+	return total
+}
+
+// htDraw is one connected completion: its deduplication fingerprint and
+// conditional world probability q_w, in draw order within a chunk.
+type htDraw struct {
+	fp uint64
+	q  xfloat.F
+}
+
+// completeChunksHT draws the stratum's completions with the
+// Horvitz–Thompson estimator and returns the stratum's conditional
+// reliability fraction. Chunks record connected completions in draw order;
+// deduplication and the xfloat accumulation fold in (chunk, draw) order,
+// which keeps the estimate bit-identical for any worker count.
+func (r *run) completeChunksHT(layer int, front []int32, stratum, draws int, snaps []snapshot, mass xfloat.F, pick func(*rand.Rand) int) float64 {
+	res := make([][]htDraw, numChunks(draws))
+	r.forStratumChunks(layer, front, stratum, draws, func(comp *completer, rng *rand.Rand, chunk, n int) {
+		var out []htDraw
+		for i := 0; i < n; i++ {
+			idx := pick(rng)
+			s := &snaps[idx]
+			ok, pr, fp := comp.complete(&s.state, true, rng)
+			if !ok {
+				continue
+			}
+			// Deduplicate across nodes too: mix the node identity into the
+			// completion fingerprint.
+			fp ^= uint64(idx)*0x9e3779b97f4a7c15 + 0x85ebca6b
+			out = append(out, htDraw{fp: fp, q: s.p.Mul(pr).Div(mass)})
+		}
+		res[chunk] = out
+	})
+	var ht estimator.HTEstimate
+	seen := make(map[uint64]bool, draws)
+	for _, chunk := range res {
+		for _, d := range chunk {
+			if seen[d.fp] {
+				continue
+			}
+			seen[d.fp] = true
+			ht.Add(d.q, true, draws)
+		}
+	}
+	return ht.Estimate()
+}

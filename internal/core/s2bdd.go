@@ -8,6 +8,7 @@ import (
 
 	"netrel/internal/estimator"
 	"netrel/internal/frontier"
+	"netrel/internal/sampling"
 	"netrel/internal/ugraph"
 	"netrel/internal/xfloat"
 )
@@ -54,12 +55,12 @@ func Compute(g *ugraph.Graph, ts ugraph.Terminals, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	r := &run{
-		cfg:   cfg,
-		plan:  plan,
-		g:     g,
-		k:     len(ts),
-		rng:   rand.New(rand.NewPCG(cfg.Seed, 0xa0761d6478bd642f)),
-		compl: newCompleter(plan, cfg.Seed^0x243f6a8885a308d3),
+		cfg:     cfg,
+		plan:    plan,
+		g:       g,
+		k:       len(ts),
+		rng:     rand.New(rand.NewPCG(cfg.Seed, 0xa0761d6478bd642f)),
+		workers: sampling.ClampWorkers(cfg.Workers, 0),
 	}
 	return r.execute()
 }
@@ -71,8 +72,13 @@ type run struct {
 	g    *ugraph.Graph
 	k    int
 
-	rng   *rand.Rand
-	compl *completer
+	// rng drives only driver-level decisions (the stochastic rounding of
+	// stratum allocations); all completion draws use per-chunk streams
+	// derived from (Seed, layer, stratum, chunk) so the sampling phase can
+	// run on any number of workers without changing the result.
+	rng     *rand.Rand
+	workers int
+	compls  []*completer // one per worker slot, created lazily
 
 	pc xfloat.F // mass proven connected (1-sink)
 	pd xfloat.F // mass proven disconnected (0-sink)
@@ -329,8 +335,14 @@ func (r *run) heuristic(f []int32, n *node) float64 {
 // rounding and inverse-allocation weighting, which keeps the combined
 // estimator unbiased even when a stratum's expected allocation is below one
 // sample (see DESIGN.md §3).
+//
+// The draws are split into fixed-size chunks, each with its own RNG stream
+// seeded from (Seed, layer, stratum, chunk); chunks execute on up to
+// cfg.Workers goroutines and their results fold in chunk order, so the
+// estimate does not depend on the worker count (see parallel.go).
 func (r *run) sampleStratum(layer int, front []int32, snaps []snapshot, mass xfloat.F) {
 	r.res.Strata++
+	stratum := r.res.Strata // 1-based stratum ordinal, deterministic
 	r.sampledMass = r.sampledMass.Add(mass)
 	if r.cfg.Samples == 0 {
 		return // bounds-only mode
@@ -362,15 +374,16 @@ func (r *run) sampleStratum(layer int, front []int32, snaps []snapshot, mass xfl
 		weight = 1 / x
 	}
 
-	// Node choice is proportional to node mass within the stratum.
+	// Node choice is proportional to node mass within the stratum. cum is
+	// built once by the driver and read concurrently by all chunks.
 	cum := make([]float64, len(snaps))
 	acc := 0.0
 	for i := range snaps {
 		acc += snaps[i].p.Div(mass).Float64()
 		cum[i] = acc
 	}
-	pick := func() int {
-		u := r.rng.Float64() * acc
+	pick := func(rng *rand.Rand) int {
+		u := rng.Float64() * acc
 		i := sort.SearchFloat64s(cum, u)
 		if i >= len(snaps) {
 			i = len(snaps) - 1
@@ -378,48 +391,20 @@ func (r *run) sampleStratum(layer int, front []int32, snaps []snapshot, mass xfl
 		return i
 	}
 
-	r.compl.setLayer(layer, front)
+	hit := 0.0
 	switch r.cfg.Estimator {
 	case estimator.MonteCarlo:
-		connected := 0
-		for i := 0; i < draws; i++ {
-			s := &snaps[pick()]
-			ok, _, _ := r.compl.complete(&s.state, false)
-			if ok {
-				connected++
-			}
-		}
-		r.res.SamplesUsed += draws
-		hit := float64(connected) / float64(draws)
-		r.estSampled = r.estSampled.Add(mass.MulFloat64(hit * weight))
+		connected := r.completeChunksMC(layer, front, stratum, draws, snaps, pick)
+		hit = float64(connected) / float64(draws)
 	case estimator.HorvitzThompson:
 		// HT over the stratum's conditional world distribution: each world
 		// w has conditional probability q_w = p_node·pr_completion / P_l;
 		// the estimator sums q_w/π_w over distinct connected worlds and
 		// estimates the stratum's conditional reliability fraction.
-		var ht estimator.HTEstimate
-		seen := make(map[uint64]bool, draws)
-		for i := 0; i < draws; i++ {
-			idx := pick()
-			s := &snaps[idx]
-			ok, pr, fp := r.compl.complete(&s.state, true)
-			if !ok {
-				continue
-			}
-			// Deduplicate across nodes too: mix the node identity into the
-			// completion fingerprint.
-			fp ^= uint64(idx)*0x9e3779b97f4a7c15 + 0x85ebca6b
-			if seen[fp] {
-				continue
-			}
-			seen[fp] = true
-			q := s.p.Mul(pr).Div(mass)
-			ht.Add(q, true, draws)
-		}
-		r.res.SamplesUsed += draws
-		hit := ht.Estimate()
-		r.estSampled = r.estSampled.Add(mass.MulFloat64(hit * weight))
+		hit = r.completeChunksHT(layer, front, stratum, draws, snaps, mass, pick)
 	}
+	r.res.SamplesUsed += draws
+	r.estSampled = r.estSampled.Add(mass.MulFloat64(hit * weight))
 }
 
 // finalize assembles the Result.

@@ -1,0 +1,47 @@
+package sampling
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEachChunk executes fn(c) for every chunk index c in [0, n), where fn is
+// produced per worker by newWorker (letting each worker own its scratch
+// state — RNG buffers, union-find arenas, frontier scratch). Chunks are
+// claimed from a shared atomic counter, so the assignment of chunks to
+// workers is scheduling-dependent — which is why chunk work functions must
+// derive all randomness from the chunk index (via SeedStream), never from
+// the worker identity. With workers ≤ 1 (or a single chunk) everything runs
+// inline on the calling goroutine; the results are identical either way.
+func ForEachChunk(n, workers int, newWorker func() func(chunk int)) {
+	if n <= 0 {
+		return
+	}
+	workers = ClampWorkers(workers, n)
+	if workers == 1 {
+		fn := newWorker()
+		for c := 0; c < n; c++ {
+			fn(c)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		// newWorker runs on the caller's goroutine so implementations may
+		// hand out pre-built per-worker state without synchronization.
+		fn := newWorker()
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= n {
+					return
+				}
+				fn(c)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,19 +1,29 @@
 // Package sampling implements the paper's comparison baseline samplers:
 // plain Monte Carlo and Horvitz–Thompson estimation over possible worlds
-// (Section 3.2.2). Sampling is embarrassingly parallel; a worker pool with
-// deterministic per-worker RNG streams keeps results reproducible for any
-// fixed (seed, workers) pair.
+// (Section 3.2.2). Sampling is embarrassingly parallel; the sample budget is
+// divided into fixed-size chunks, each with its own deterministically-derived
+// RNG stream, and chunk results are folded in chunk order — so a fixed seed
+// yields bit-identical results for every worker count.
+//
+// The package also hosts the worker-count and seed-derivation helpers shared
+// by the other parallel subsystems (the S2BDD stratum sampler in
+// internal/core and the BDD layer expander in internal/bdd), so clamping
+// rules live in exactly one place.
 package sampling
 
 import (
 	"errors"
 	"runtime"
-	"sync"
 
 	"netrel/internal/estimator"
 	"netrel/internal/ugraph"
 	"netrel/internal/xfloat"
 )
+
+// ChunkSize is the number of possible worlds per deterministic work unit.
+// Chunk boundaries depend only on the sample budget — never on the worker
+// count — which is what makes results worker-count independent.
+const ChunkSize = 512
 
 // Options configures a sampling run.
 type Options struct {
@@ -23,7 +33,8 @@ type Options struct {
 	Estimator estimator.Kind
 	// Seed makes the run reproducible. Zero is a valid seed.
 	Seed uint64
-	// Workers is the parallelism degree; ≤0 selects GOMAXPROCS.
+	// Workers is the parallelism degree; ≤0 selects GOMAXPROCS. The result
+	// is bit-identical for every worker count.
 	Workers int
 }
 
@@ -44,6 +55,45 @@ type Result struct {
 // ErrNoSamples reports a non-positive sample count.
 var ErrNoSamples = errors.New("sampling: sample count must be positive")
 
+// ClampWorkers normalizes a requested worker count: non-positive values
+// select GOMAXPROCS, and the count never exceeds total (when total > 0), so
+// no caller ever spawns an idle goroutine. Every parallel entry point in the
+// module routes its worker count through here.
+func ClampWorkers(workers, total int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if total > 0 && workers > total {
+		workers = total
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// mix64 is the SplitMix64 finalizer: a bijective avalanche over uint64.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// SeedStream derives an independent PCG seed from a base seed and a
+// coordinate tuple (e.g. (layer, stratum, chunk)). The derivation is a pure
+// function of its inputs, so parallel schedules built on it are reproducible
+// regardless of which worker executes which unit.
+func SeedStream(seed uint64, coords ...uint64) uint64 {
+	h := mix64(seed ^ 0x9e3779b97f4a7c15)
+	for _, c := range coords {
+		h = mix64(h ^ mix64(c+0x2545f4914f6cdd1d))
+	}
+	return h
+}
+
 // Run estimates R[G,T] by sampling.
 func Run(g *ugraph.Graph, ts ugraph.Terminals, opts Options) (Result, error) {
 	if opts.Samples <= 0 {
@@ -55,13 +105,7 @@ func Run(g *ugraph.Graph, ts ugraph.Terminals, opts Options) (Result, error) {
 	if len(ts) <= 1 {
 		return Result{Estimate: 1, Samples: opts.Samples, Connected: opts.Samples}, nil
 	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > opts.Samples {
-		workers = opts.Samples
-	}
+	workers := ClampWorkers(opts.Workers, opts.Samples)
 
 	switch opts.Estimator {
 	case estimator.MonteCarlo:
@@ -73,8 +117,16 @@ func Run(g *ugraph.Graph, ts ugraph.Terminals, opts Options) (Result, error) {
 	}
 }
 
-// split divides total into `parts` contiguous chunks differing by ≤1.
+// split divides total into `parts` contiguous chunks differing by ≤1. parts
+// is clamped to [1, total] so no chunk is ever empty (total must be
+// positive); callers therefore never spawn a zero-work unit.
 func split(total, parts int) []int {
+	if parts > total {
+		parts = total
+	}
+	if parts < 1 {
+		parts = 1
+	}
 	out := make([]int, parts)
 	base, rem := total/parts, total%parts
 	for i := range out {
@@ -86,25 +138,28 @@ func split(total, parts int) []int {
 	return out
 }
 
+// chunkCounts partitions a sample budget into deterministic work units of at
+// most ChunkSize draws each.
+func chunkCounts(samples int) []int {
+	return split(samples, (samples+ChunkSize-1)/ChunkSize)
+}
+
 func runMC(g *ugraph.Graph, ts ugraph.Terminals, opts Options, workers int) (Result, error) {
-	counts := split(opts.Samples, workers)
-	hits := make([]int, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			s := ugraph.NewWorldSampler(g, ts, opts.Seed^(uint64(w)*0x9e3779b97f4a7c15+0x1234abcd))
+	counts := chunkCounts(opts.Samples)
+	hits := make([]int, len(counts))
+	ForEachChunk(len(counts), workers, func() func(int) {
+		s := ugraph.NewWorldSampler(g, ts, 0)
+		return func(c int) {
+			s.Reseed(SeedStream(opts.Seed, uint64(c)))
 			h := 0
-			for i := 0; i < counts[w]; i++ {
+			for i := 0; i < counts[c]; i++ {
 				if s.SampleConnected() {
 					h++
 				}
 			}
-			hits[w] = h
-		}(w)
-	}
-	wg.Wait()
+			hits[c] = h
+		}
+	})
 	total := 0
 	for _, h := range hits {
 		total += h
@@ -118,47 +173,55 @@ func runMC(g *ugraph.Graph, ts ugraph.Terminals, opts Options, workers int) (Res
 	}, nil
 }
 
+// htWorld is one connected sampled world: its mask fingerprint and existence
+// probability, in draw order within a chunk.
+type htWorld struct {
+	fp uint64
+	pr xfloat.F
+}
+
 func runHT(g *ugraph.Graph, ts ugraph.Terminals, opts Options, workers int) (Result, error) {
 	// The HT sum ranges over distinct sampled worlds (it models sampling
 	// without replacement); worlds are deduplicated by fingerprint. On the
 	// paper's large graphs duplicates essentially never occur, but on
-	// small graphs skipping deduplication overestimates wildly.
-	counts := split(opts.Samples, workers)
-	seen := make([]map[uint64]xfloat.F, workers)
-	hits := make([]int, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			s := ugraph.NewWorldSampler(g, ts, opts.Seed^(uint64(w)*0x9e3779b97f4a7c15+0x1234abcd))
-			connectedWorlds := make(map[uint64]xfloat.F)
+	// small graphs skipping deduplication overestimates wildly. Chunks
+	// record connected worlds in draw order; the dedup and the xfloat sum
+	// fold in (chunk, draw) order so the estimate is bit-identical for any
+	// worker count.
+	counts := chunkCounts(opts.Samples)
+	worlds := make([][]htWorld, len(counts))
+	hits := make([]int, len(counts))
+	ForEachChunk(len(counts), workers, func() func(int) {
+		s := ugraph.NewWorldSampler(g, ts, 0)
+		return func(c int) {
+			s.Reseed(SeedStream(opts.Seed, uint64(c)))
+			var ws []htWorld
 			h := 0
-			for i := 0; i < counts[w]; i++ {
+			for i := 0; i < counts[c]; i++ {
 				connected, pr, fp := s.SampleConnectedWithProb()
 				if connected {
 					h++
-					connectedWorlds[fp] = pr
+					ws = append(ws, htWorld{fp: fp, pr: pr})
 				}
 			}
-			seen[w] = connectedWorlds
-			hits[w] = h
-		}(w)
-	}
-	wg.Wait()
-	merged := make(map[uint64]xfloat.F)
-	hitTotal := 0
-	for w := range seen {
-		for fp, pr := range seen[w] {
-			merged[fp] = pr
+			worlds[c] = ws
+			hits[c] = h
 		}
-		hitTotal += hits[w]
-	}
+	})
+	seen := make(map[uint64]bool)
+	hitTotal := 0
 	sum := xfloat.Zero
-	for _, pr := range merged {
-		pi := estimator.InclusionProb(pr, opts.Samples)
-		if !pi.IsZero() {
-			sum = sum.Add(pr.Div(pi))
+	for c := range worlds {
+		hitTotal += hits[c]
+		for _, w := range worlds[c] {
+			if seen[w.fp] {
+				continue
+			}
+			seen[w.fp] = true
+			pi := estimator.InclusionProb(w.pr, opts.Samples)
+			if !pi.IsZero() {
+				sum = sum.Add(w.pr.Div(pi))
+			}
 		}
 	}
 	est := sum.Clamp01().Float64()

@@ -3,6 +3,7 @@ package sampling
 import (
 	"math"
 	"math/rand/v2"
+	"runtime"
 	"testing"
 
 	"netrel/internal/estimator"
@@ -126,6 +127,86 @@ func TestMoreWorkersThanSamples(t *testing.T) {
 	}
 	if res.Samples != 3 {
 		t.Fatalf("samples = %d", res.Samples)
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	// The chunked schedule makes the estimate a pure function of
+	// (seed, samples): every worker count must produce identical bits.
+	g, ts := triangle(t)
+	for _, kind := range []estimator.Kind{estimator.MonteCarlo, estimator.HorvitzThompson} {
+		base, err := Run(g, ts, Options{Samples: 5000, Seed: 21, Workers: 1, Estimator: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 3, 8, 64} {
+			res, err := Run(g, ts, Options{Samples: 5000, Seed: 21, Workers: w, Estimator: kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Estimate != base.Estimate || res.Connected != base.Connected {
+				t.Fatalf("%v workers=%d: %v/%d != base %v/%d",
+					kind, w, res.Estimate, res.Connected, base.Estimate, base.Connected)
+			}
+		}
+	}
+}
+
+func TestClampWorkers(t *testing.T) {
+	cases := []struct{ workers, total, want int }{
+		{0, 10, -1}, // -1: GOMAXPROCS-dependent, checked below
+		{-3, 10, -1},
+		{4, 10, 4},
+		{16, 3, 3},
+		{16, 0, 16}, // total 0 = unbounded work units
+		{1, 1, 1},
+	}
+	for _, c := range cases {
+		got := ClampWorkers(c.workers, c.total)
+		if c.want == -1 {
+			if got < 1 || got > max(runtime.GOMAXPROCS(0), c.total) {
+				t.Fatalf("ClampWorkers(%d,%d) = %d", c.workers, c.total, got)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Fatalf("ClampWorkers(%d,%d) = %d, want %d", c.workers, c.total, got, c.want)
+		}
+	}
+}
+
+func TestSplitNeverProducesEmptyParts(t *testing.T) {
+	for _, c := range []struct{ total, parts int }{
+		{10, 3}, {3, 10}, {5, 0}, {7, -2}, {1, 1}, {512, 512},
+	} {
+		out := split(c.total, c.parts)
+		sum := 0
+		for _, n := range out {
+			if n <= 0 {
+				t.Fatalf("split(%d,%d) produced empty part: %v", c.total, c.parts, out)
+			}
+			sum += n
+		}
+		if sum != c.total {
+			t.Fatalf("split(%d,%d) sums to %d: %v", c.total, c.parts, sum, out)
+		}
+		if len(out) > c.total || len(out) < 1 {
+			t.Fatalf("split(%d,%d) has %d parts", c.total, c.parts, len(out))
+		}
+	}
+}
+
+func TestSeedStreamIsCoordinateSensitive(t *testing.T) {
+	a := SeedStream(1, 2, 3)
+	if a != SeedStream(1, 2, 3) {
+		t.Fatal("SeedStream not a pure function")
+	}
+	for _, b := range []uint64{
+		SeedStream(2, 2, 3), SeedStream(1, 3, 3), SeedStream(1, 2, 4), SeedStream(1, 2),
+	} {
+		if a == b {
+			t.Fatal("SeedStream collision across distinct coordinates")
+		}
 	}
 }
 

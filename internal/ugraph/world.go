@@ -28,6 +28,14 @@ func NewWorldSampler(g *Graph, ts Terminals, seed uint64) *WorldSampler {
 	}
 }
 
+// Reseed restarts the sampler's random stream from seed, retaining the
+// union-find arena. Chunked parallel drivers reseed one sampler per work
+// unit so draws depend only on the unit's seed, not on which goroutine ran
+// previous units.
+func (s *WorldSampler) Reseed(seed uint64) {
+	s.rng = rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+}
+
 // SampleConnected draws one possible world Gp according to the edge
 // probabilities and reports whether all terminals are connected in it.
 // The draw and the connectivity check are fused: an edge flip immediately

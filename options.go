@@ -123,8 +123,16 @@ func WithSeed(seed uint64) Option {
 	}
 }
 
-// WithWorkers sets sampling parallelism for the Monte Carlo baseline
-// (default GOMAXPROCS). The S2BDD itself is sequential and deterministic.
+// WithWorkers sets the parallelism degree for every entry point — the
+// decomposed pipeline jobs and the S2BDD stratified-sampling phase of
+// Reliability and Exact, the layer expansion of BDDExact, and the Monte
+// Carlo baseline (default GOMAXPROCS; values ≤ 0 also select GOMAXPROCS).
+//
+// Determinism guarantee: all parallel work is scheduled as fixed-size
+// chunks whose random streams derive from (seed, layer, stratum, chunk)
+// and whose results fold in chunk order, so a fixed WithSeed yields
+// bit-identical results for every worker count — workers only change how
+// fast the answer arrives, never the answer.
 func WithWorkers(n int) Option {
 	return func(o *options) error {
 		o.workers = n

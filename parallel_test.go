@@ -1,0 +1,187 @@
+package netrel
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// denseRandomGraph builds a deterministic pseudo-random multigraph-free
+// graph with enough width to overflow a small S2BDD and force the
+// stratified-sampling path (the parallel hot path under test).
+func denseRandomGraph(t *testing.T, n, m int, seed uint64) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 0xfeed))
+	g := NewGraph(n)
+	// Spanning path first so terminals are reachable in some world.
+	for v := 1; v < n; v++ {
+		if err := g.AddEdge(v-1, v, 0.4+0.5*rng.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[[2]int]bool{}
+	for g.M() < m {
+		u, v := rng.IntN(n), rng.IntN(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if v == u+1 || seen[[2]int{u, v}] {
+			continue
+		}
+		seen[[2]int{u, v}] = true
+		if err := g.AddEdge(u, v, 0.2+0.6*rng.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// workerCounts is the matrix the acceptance criteria name: 1, 4, and
+// GOMAXPROCS.
+func workerCounts() []int {
+	return []int{1, 4, runtime.GOMAXPROCS(0)}
+}
+
+// assertSameResult compares every deterministic field of two Results
+// bit-for-bit (Duration and Preprocess.Duration are wall-clock and
+// excluded).
+func assertSameResult(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if a.Reliability != b.Reliability || a.Log10 != b.Log10 {
+		t.Fatalf("%s: estimate differs: %v vs %v", label, a.Reliability, b.Reliability)
+	}
+	if a.Lower != b.Lower || a.Upper != b.Upper {
+		t.Fatalf("%s: bounds differ: [%v,%v] vs [%v,%v]", label, a.Lower, a.Upper, b.Lower, b.Upper)
+	}
+	if a.Variance != b.Variance {
+		t.Fatalf("%s: variance differs: %v vs %v", label, a.Variance, b.Variance)
+	}
+	if a.Exact != b.Exact || a.Subproblems != b.Subproblems {
+		t.Fatalf("%s: shape differs: exact %v/%v subproblems %d/%d",
+			label, a.Exact, b.Exact, a.Subproblems, b.Subproblems)
+	}
+	if a.SamplesRequested != b.SamplesRequested || a.SamplesReduced != b.SamplesReduced ||
+		a.SamplesUsed != b.SamplesUsed {
+		t.Fatalf("%s: sample accounting differs: %d/%d/%d vs %d/%d/%d", label,
+			a.SamplesRequested, a.SamplesReduced, a.SamplesUsed,
+			b.SamplesRequested, b.SamplesReduced, b.SamplesUsed)
+	}
+}
+
+// TestReliabilityDeterministicAcrossWorkers is the acceptance criterion:
+// with a fixed seed, the full pipeline — including the parallel stratified
+// sampling phase — must be bit-identical for workers ∈ {1, 4, GOMAXPROCS}.
+func TestReliabilityDeterministicAcrossWorkers(t *testing.T) {
+	g := denseRandomGraph(t, 40, 140, 11)
+	ts := []int{0, 13, 26, 39}
+	// A tiny width forces node deletion, so the run exercises many strata.
+	base, err := Reliability(g, ts,
+		WithSamples(4000), WithSeed(42), WithMaxWidth(16), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Exact {
+		t.Fatal("test graph solved exactly; it no longer exercises the sampling path")
+	}
+	if base.SamplesUsed == 0 {
+		t.Fatal("no completions drawn; widen the test workload")
+	}
+	for _, w := range workerCounts() {
+		res, err := Reliability(g, ts,
+			WithSamples(4000), WithSeed(42), WithMaxWidth(16), WithWorkers(w))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		assertSameResult(t, "Reliability", base, res)
+	}
+}
+
+// TestExactDeterministicAcrossWorkers covers the Exact entry point, where
+// WithWorkers governs the concurrent pipeline jobs.
+func TestExactDeterministicAcrossWorkers(t *testing.T) {
+	g := bridgeOfTriangles(t)
+	base, err := Exact(g, []int{0, 5}, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Subproblems != 2 {
+		t.Fatalf("want 2 concurrent subproblems, got %d", base.Subproblems)
+	}
+	for _, w := range workerCounts() {
+		res, err := Exact(g, []int{0, 5}, WithWorkers(w))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		assertSameResult(t, "Exact", base, res)
+	}
+}
+
+// TestMonteCarloDeterministicAcrossWorkers covers the sampling baseline,
+// whose chunked schedule must also be worker-count independent (previously
+// each worker owned a seed-dependent contiguous range, so the estimate
+// changed with the worker count).
+func TestMonteCarloDeterministicAcrossWorkers(t *testing.T) {
+	g := bridgeOfTriangles(t)
+	for _, est := range []Estimator{EstimatorMonteCarlo, EstimatorHorvitzThompson} {
+		base, err := MonteCarlo(g, []int{0, 5},
+			WithSamples(30_000), WithSeed(3), WithWorkers(1), WithEstimator(est))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workerCounts() {
+			res, err := MonteCarlo(g, []int{0, 5},
+				WithSamples(30_000), WithSeed(3), WithWorkers(w), WithEstimator(est))
+			if err != nil {
+				t.Fatalf("workers=%d: %v", w, err)
+			}
+			assertSameResult(t, "MonteCarlo", base, res)
+		}
+	}
+}
+
+// TestBDDExactDeterministicAcrossWorkers covers the exact-BDD baseline's
+// parallel layer expansion.
+func TestBDDExactDeterministicAcrossWorkers(t *testing.T) {
+	g := denseRandomGraph(t, 14, 26, 5)
+	ts := []int{0, 7, 13}
+	base, err := BDDExact(g, ts, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts() {
+		res, err := BDDExact(g, ts, WithWorkers(w))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		assertSameResult(t, "BDDExact", base, res)
+	}
+}
+
+// TestParallelPipelineRace hammers every parallel code path from many
+// goroutines at once; it exists to run under `go test -race`.
+func TestParallelPipelineRace(t *testing.T) {
+	g := denseRandomGraph(t, 30, 90, 23)
+	ts := []int{0, 15, 29}
+	sess := NewSession(g)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := sess.Reliability(ts,
+				WithSamples(500), WithSeed(uint64(i)), WithMaxWidth(32),
+				WithWorkers(4)); err != nil {
+				t.Error(err)
+			}
+			if _, err := MonteCarlo(g, ts,
+				WithSamples(2000), WithSeed(uint64(i)), WithWorkers(4)); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

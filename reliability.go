@@ -23,6 +23,7 @@ package netrel
 import (
 	"errors"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"netrel/internal/bdd"
@@ -158,6 +159,7 @@ func BDDExact(g *Graph, terminals []int, opts ...Option) (*Result, error) {
 	res, err := bdd.Compute(g.internal(), ts, bdd.Options{
 		Order:      ord,
 		NodeBudget: o.bddBudget,
+		Workers:    o.workers,
 	})
 	if err != nil {
 		return nil, err
@@ -207,8 +209,38 @@ type pipelineJob struct {
 
 func xfloatOne() xfloat.F { return xfloat.One }
 
+// solveJob runs one decomposed subproblem through the S2BDD. Each job's
+// seed is derived from its index, and the S2BDD itself is worker-count
+// independent, so job results don't depend on how the pipeline schedules
+// them.
+func solveJob(j pipelineJob, i int, o options, exactOnly bool, workers int) (core.Result, error) {
+	ord := order.Compute(j.g, o.ordering.strategy(), j.ts[0])
+	cfg := core.Config{
+		MaxWidth:                o.maxWidth,
+		Samples:                 o.samples,
+		Estimator:               o.estimatorKind(),
+		Seed:                    o.seed + uint64(i)*0x9e3779b97f4a7c15,
+		Order:                   ord,
+		ExactOnly:               exactOnly,
+		Workers:                 workers,
+		DisableEarlyTermination: o.noEarlyTerm,
+		DisableHeuristic:        o.noHeuristic,
+		DisableStall:            o.noStall,
+		DisableReduction:        o.noReduction,
+		StallWindow:             o.stallWindow,
+		StallThreshold:          o.stallThreshold,
+	}
+	return core.Compute(j.g, j.ts, cfg)
+}
+
 // finishPipeline solves each subproblem with the S2BDD and combines the
 // results: R = factor · Π R_i, with bounds and variance propagated.
+//
+// Independent subproblems run concurrently with bounded job-level
+// parallelism, each with the full sampling-worker budget. Per-job results
+// are collected by index and combined in job order, so the product — like
+// everything else governed by WithWorkers — is bit-identical for every
+// worker count.
 func finishPipeline(out *Result, jobs []pipelineJob, factor xfloat.F, o options, exactOnly bool, start time.Time) (*Result, error) {
 	estX := factor
 	lowX := factor
@@ -217,26 +249,40 @@ func finishPipeline(out *Result, jobs []pipelineJob, factor xfloat.F, o options,
 	varianceTerms := make([]float64, 0, len(jobs))
 	rhats := make([]float64, 0, len(jobs))
 
-	for i, j := range jobs {
-		ord := order.Compute(j.g, o.ordering.strategy(), j.ts[0])
-		cfg := core.Config{
-			MaxWidth:                o.maxWidth,
-			Samples:                 o.samples,
-			Estimator:               o.estimatorKind(),
-			Seed:                    o.seed + uint64(i)*0x9e3779b97f4a7c15,
-			Order:                   ord,
-			ExactOnly:               exactOnly,
-			DisableEarlyTermination: o.noEarlyTerm,
-			DisableHeuristic:        o.noHeuristic,
-			DisableStall:            o.noStall,
-			DisableReduction:        o.noReduction,
-			StallWindow:             o.stallWindow,
-			StallThreshold:          o.stallThreshold,
+	total := sampling.ClampWorkers(o.workers, 0)
+	jobPar := min(total, len(jobs))
+
+	// Every job gets the full worker budget: goroutine-level oversubscription
+	// is harmless (the Go scheduler multiplexes onto GOMAXPROCS threads), and
+	// once the small 2ECCs finish the dominant subproblem — typically holding
+	// most of the edges — keeps all cores instead of the jobPar-way split.
+	results := make([]core.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	var failed atomic.Bool
+	sampling.ForEachChunk(len(jobs), jobPar, func() func(int) {
+		return func(i int) {
+			// Skip remaining jobs once any job failed (e.g. ErrNotExact from
+			// a tiny component under exactOnly) rather than solving large
+			// subproblems whose result will be discarded. Which jobs were
+			// skipped is schedule-dependent, but only the error path can
+			// observe that.
+			if failed.Load() {
+				return
+			}
+			results[i], errs[i] = solveJob(jobs[i], i, o, exactOnly, total)
+			if errs[i] != nil {
+				failed.Store(true)
+			}
 		}
-		res, err := core.Compute(j.g, j.ts, cfg)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
+	}
+
+	for i := range jobs {
+		res := results[i]
 		estX = estX.Mul(res.EstimateX)
 		lowX = lowX.Mul(res.LowerX)
 		upX = upX.Mul(res.LowerX.Add(res.UnresolvedX).Clamp01())

@@ -16,7 +16,10 @@ import (
 //
 // The Session shares the Graph; the graph must not be modified while the
 // session is in use. Sessions are safe for concurrent queries (the index is
-// read-only after construction).
+// read-only after construction). Within one query, decomposed subproblems
+// run concurrently under the WithWorkers budget — see finishPipeline — so a
+// session serving many callers composes two levels of parallelism; results
+// are independent of both.
 type Session struct {
 	g   *Graph
 	idx *preprocess.Index
