@@ -1,0 +1,92 @@
+package netrel
+
+import (
+	"fmt"
+
+	"netrel/internal/batch"
+	"netrel/internal/core"
+)
+
+// Query is one reliability query in a batch: a terminal set over the
+// session's graph.
+type Query struct {
+	// Terminals is the terminal vertex set (at least one vertex).
+	Terminals []int
+}
+
+// BatchReliability answers many reliability queries over the session's
+// graph in one pass. Each query is preprocessed against the shared 2ECC
+// index; the decomposed subproblems of all queries are deduplicated by
+// canonical signature, solved exactly once each — largest-first across the
+// WithWorkers budget, consulting the session result cache — and every
+// query's answer is recombined from the shared solutions.
+//
+// Results are bit-identical to issuing each query alone through
+// Session.Reliability with the same options: subproblem RNG seeds derive
+// from canonical signatures, never from a subproblem's position in a query
+// or the batch, so deduplication is invisible in the output. Queries that
+// share no structure cost the same as sequential calls; workloads whose
+// terminal sets cross the same 2ECC chains (reliability maximization, s-t
+// comparison sweeps) skip the bulk of their solves.
+//
+// The returned slice has one Result per query, in query order. Any invalid
+// query (empty or out-of-range terminals) fails the whole batch with an
+// error naming the offending query.
+func (s *Session) BatchReliability(queries []Query, opts ...Option) ([]*Result, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(queries) == 0 {
+		return nil, nil
+	}
+
+	// Plan every query against the shared index.
+	plans := make([]*queryPlan, len(queries))
+	jobLists := make([][]batch.Job, len(queries))
+	for i, q := range queries {
+		p, err := planQuery(s.g, q.Terminals, o, s.idx)
+		if err != nil {
+			return nil, fmt.Errorf("netrel: batch query %d: %w", i, err)
+		}
+		plans[i] = p
+		if p.done {
+			continue
+		}
+		jobs := make([]batch.Job, len(p.jobs))
+		for j, pj := range p.jobs {
+			jobs[j] = batch.Job{G: pj.g, Ts: pj.ts, Sig: pj.sig}
+		}
+		jobLists[i] = jobs
+	}
+
+	// Deduplicate subproblems across queries and solve each unique one
+	// once. plan.Unique is already ordered largest-first, so solveJobs —
+	// the same cache-aware engine the sequential path uses — starts the
+	// dominant subproblems before the worker budget fills with small ones.
+	plan := batch.Build(jobLists)
+	unique := make([]pipelineJob, len(plan.Unique))
+	for u, j := range plan.Unique {
+		unique[u] = pipelineJob{g: j.G, ts: j.Ts, sig: j.Sig}
+	}
+	solved, err := solveJobs(unique, o, false, s.cache)
+	if err != nil {
+		return nil, err
+	}
+
+	// Recombine each query's product from the shared results, in the
+	// query's own job order.
+	out := make([]*Result, len(queries))
+	for i, p := range plans {
+		if p.done {
+			out[i] = p.out
+			continue
+		}
+		results := make([]core.Result, len(plan.Refs[i]))
+		for j, u := range plan.Refs[i] {
+			results[j] = solved[u]
+		}
+		out[i] = combineResults(p.out, results, p.factor, p.start)
+	}
+	return out, nil
+}

@@ -1,0 +1,323 @@
+package netrel
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// blockChainGraph builds the canonical batch-sharing workload: `blocks`
+// dense random 2ECCs of `blockSize` vertices, consecutive blocks joined by
+// a single bridge. Queries whose terminals sit in the first and last block
+// all decompose onto the same interior subproblems, so a batch planner
+// should solve each interior block once for the whole batch. Mirrors
+// expt.BenchBlockChain (same shape and constants), which package netrel
+// cannot import without a cycle.
+func blockChainGraph(t testing.TB, blocks, blockSize int, seed uint64) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 0xb10c))
+	g := NewGraph(blocks * blockSize)
+	add := func(u, v int, p float64) {
+		if err := g.AddEdge(u, v, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for b := 0; b < blocks; b++ {
+		base := b * blockSize
+		// A ring plus chords keeps every block 2-edge-connected and wide
+		// enough that a narrow S2BDD must sample.
+		for i := 0; i < blockSize; i++ {
+			add(base+i, base+(i+1)%blockSize, 0.3+0.6*rng.Float64())
+		}
+		for i := 0; i < blockSize; i++ {
+			u, v := rng.IntN(blockSize), rng.IntN(blockSize)
+			if u != v && v != (u+1)%blockSize && u != (v+1)%blockSize {
+				add(base+u, base+v, 0.3+0.6*rng.Float64())
+			}
+		}
+		if b > 0 {
+			add(base-1, base, 0.8) // bridge to previous block
+		}
+	}
+	return g
+}
+
+// endToEndQueries returns n queries whose terminals vary inside the first
+// and last blocks of a blockChainGraph, so all interior blocks are shared.
+func endToEndQueries(g *Graph, blocks, blockSize, n int) []Query {
+	out := make([]Query, 0, n)
+	for i := 0; i < n; i++ {
+		u := i % (blockSize - 1)
+		v := g.N() - 1 - (i+1)%(blockSize-1)
+		out = append(out, Query{Terminals: []int{u, v}})
+	}
+	return out
+}
+
+// TestBatchMatchesSequential is the acceptance criterion: BatchReliability
+// over N terminal sets must be bit-identical to N individual
+// Session.Reliability calls with the same seed, for workers 1, 4, and
+// GOMAXPROCS.
+func TestBatchMatchesSequential(t *testing.T) {
+	const blocks, blockSize = 4, 8
+	g := blockChainGraph(t, blocks, blockSize, 7)
+	queries := endToEndQueries(g, blocks, blockSize, 6)
+
+	for _, w := range workerCounts() {
+		t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+			opts := []Option{WithSamples(2000), WithSeed(42), WithMaxWidth(24), WithWorkers(w)}
+
+			// Fresh sessions so neither path warms the other's cache.
+			seq := NewSession(g)
+			want := make([]*Result, len(queries))
+			for i, q := range queries {
+				r, err := seq.Reliability(q.Terminals, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[i] = r
+			}
+
+			bat := NewSession(g)
+			got, err := bat.BatchReliability(queries, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(queries) {
+				t.Fatalf("%d results for %d queries", len(got), len(queries))
+			}
+			for i := range queries {
+				assertSameResult(t, fmt.Sprintf("query %d", i), want[i], got[i])
+			}
+
+			// The package-level entry point (no session, no cache) must
+			// agree too: seeds derive from signatures, not from who solves.
+			direct, err := Reliability(g, queries[0].Terminals, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResult(t, "package-level", want[0], direct)
+		})
+	}
+}
+
+// TestBatchSharesSubproblems pins the sharing structure the speedup rests
+// on: interior blocks are solved once for the whole batch, so unique
+// solves are well under the sequential job count (≥30% shared).
+func TestBatchSharesSubproblems(t *testing.T) {
+	const blocks, blockSize = 5, 8
+	g := blockChainGraph(t, blocks, blockSize, 11)
+	queries := endToEndQueries(g, blocks, blockSize, 6)
+
+	s := NewSession(g)
+	res, err := s.BatchReliability(queries, WithSamples(500), WithSeed(3), WithMaxWidth(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalJobs := 0
+	for _, r := range res {
+		if r.Subproblems != blocks {
+			t.Fatalf("query decomposed into %d subproblems, want %d", r.Subproblems, blocks)
+		}
+		totalJobs += r.Subproblems
+	}
+	st := s.CacheStats()
+	unique := int(st.Misses) // every unique subproblem missed exactly once
+	if unique >= totalJobs {
+		t.Fatalf("no sharing: %d unique solves for %d jobs", unique, totalJobs)
+	}
+	shared := 1 - float64(unique)/float64(totalJobs)
+	if shared < 0.30 {
+		t.Fatalf("shared fraction %.2f < 0.30 (unique %d of %d)", shared, unique, totalJobs)
+	}
+	// 3 interior blocks solved once each + 2·6 end blocks = 15 unique.
+	if unique != (blocks-2)+2*len(queries) {
+		t.Fatalf("unique solves = %d, want %d", unique, (blocks-2)+2*len(queries))
+	}
+}
+
+// TestBatchCacheWarmsRepeatQueries checks that a second identical batch is
+// answered entirely from the session cache, bit-identically.
+func TestBatchCacheWarmsRepeatQueries(t *testing.T) {
+	const blocks, blockSize = 3, 8
+	g := blockChainGraph(t, blocks, blockSize, 13)
+	queries := endToEndQueries(g, blocks, blockSize, 4)
+	opts := []Option{WithSamples(500), WithSeed(5), WithMaxWidth(24)}
+
+	s := NewSession(g)
+	first, err := s.BatchReliability(queries, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missesAfterFirst := s.CacheStats().Misses
+	second, err := s.BatchReliability(queries, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.CacheStats()
+	if st.Misses != missesAfterFirst {
+		t.Fatalf("second batch missed the cache %d times", st.Misses-missesAfterFirst)
+	}
+	if st.Hits == 0 {
+		t.Fatal("second batch recorded no cache hits")
+	}
+	for i := range queries {
+		assertSameResult(t, fmt.Sprintf("warm query %d", i), first[i], second[i])
+	}
+
+	// A sequential repeat query also rides the same cache.
+	r, err := s.Reliability(queries[0].Terminals, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "sequential after batch", first[0], r)
+
+	// Different options must not share cached results: a batch with a new
+	// seed (or sample budget) has a different fingerprint, so every unique
+	// subproblem must miss the cache again — exactly as many misses as the
+	// cold batch recorded.
+	missesBefore := st.Misses
+	if _, err := s.BatchReliability(queries, WithSamples(500), WithSeed(6), WithMaxWidth(24)); err != nil {
+		t.Fatal(err)
+	}
+	afterSeed := s.CacheStats().Misses
+	if afterSeed-missesBefore != missesAfterFirst {
+		t.Fatalf("new-seed batch missed %d times, want %d (fingerprint failed to separate seeds)",
+			afterSeed-missesBefore, missesAfterFirst)
+	}
+	if _, err := s.BatchReliability(queries, WithSamples(700), WithSeed(5), WithMaxWidth(24)); err != nil {
+		t.Fatal(err)
+	}
+	afterSamples := s.CacheStats().Misses
+	if afterSamples-afterSeed != missesAfterFirst {
+		t.Fatalf("new-samples batch missed %d times, want %d (fingerprint failed to separate budgets)",
+			afterSamples-afterSeed, missesAfterFirst)
+	}
+}
+
+func TestBatchEdgeCases(t *testing.T) {
+	g := bridgeOfTriangles(t)
+	s := NewSession(g)
+
+	if res, err := s.BatchReliability(nil); err != nil || res != nil {
+		t.Fatalf("empty batch: %v, %v", res, err)
+	}
+
+	// Trivial, disconnected, and regular queries mixed in one batch.
+	gd, err := FromEdges(4, []Edge{{0, 1, 0.9}, {2, 3, 0.9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := NewSession(gd)
+	res, err := sd.BatchReliability([]Query{
+		{Terminals: []int{0, 2}}, // disconnected: R = 0 exactly
+		{Terminals: []int{1}},    // single terminal: R = 1 exactly
+		{Terminals: []int{0, 1}}, // one bridge: R = 0.9 exactly
+	}, WithSamples(100), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Reliability != 0 || !res[0].Exact {
+		t.Fatalf("disconnected query: %+v", res[0])
+	}
+	if res[1].Reliability != 1 || !res[1].Exact {
+		t.Fatalf("single-terminal query: %+v", res[1])
+	}
+	if res[2].Reliability != 0.9 || !res[2].Exact {
+		t.Fatalf("bridge query: %+v", res[2])
+	}
+
+	// An invalid query fails the whole batch, naming the query.
+	_, err = s.BatchReliability([]Query{{Terminals: []int{0, 5}}, {Terminals: []int{99}}})
+	if err == nil || !strings.Contains(err.Error(), "query 1") {
+		t.Fatalf("invalid query error = %v", err)
+	}
+	if _, err := s.BatchReliability([]Query{{Terminals: []int{0}}}, WithSamples(-1)); err == nil {
+		t.Fatal("bad option accepted")
+	}
+}
+
+// TestBatchPreprocessStatsPopulated covers the Bridges satellite fix: the
+// documented field must be filled on every pipeline path.
+func TestBatchPreprocessStatsPopulated(t *testing.T) {
+	g := bridgeOfTriangles(t)
+	s := NewSession(g)
+	res, err := s.BatchReliability([]Query{{Terminals: []int{0, 5}}}, WithSamples(100), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Preprocess == nil || res[0].Preprocess.Bridges != 1 {
+		t.Fatalf("Preprocess.Bridges not populated: %+v", res[0].Preprocess)
+	}
+	direct, err := Reliability(g, []int{0, 5}, WithSamples(100), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Preprocess == nil || direct.Preprocess.Bridges != 1 {
+		t.Fatalf("Preprocess.Bridges not populated on direct path: %+v", direct.Preprocess)
+	}
+}
+
+// TestSessionConcurrentMixedQueries issues overlapping Reliability and
+// BatchReliability calls on one session and asserts every result matches
+// the sequential baseline; it exists to run under `go test -race` (the
+// satellite acceptance for concurrent Session use).
+func TestSessionConcurrentMixedQueries(t *testing.T) {
+	const blocks, blockSize = 4, 8
+	g := blockChainGraph(t, blocks, blockSize, 17)
+	queries := endToEndQueries(g, blocks, blockSize, 5)
+	opts := []Option{WithSamples(800), WithSeed(9), WithMaxWidth(24), WithWorkers(4)}
+
+	// Sequential baseline on a private session.
+	base := NewSession(g)
+	want := make([]*Result, len(queries))
+	for i, q := range queries {
+		r, err := base.Reliability(q.Terminals, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+
+	shared := NewSession(g)
+	var wg sync.WaitGroup
+	const rounds = 4
+	batchOut := make([][]*Result, rounds)
+	singleOut := make([][]*Result, rounds)
+	errs := make([]error, 2*rounds)
+	for r := 0; r < rounds; r++ {
+		wg.Add(2)
+		go func(r int) {
+			defer wg.Done()
+			res, err := shared.BatchReliability(queries, opts...)
+			batchOut[r], errs[2*r] = res, err
+		}(r)
+		go func(r int) {
+			defer wg.Done()
+			out := make([]*Result, len(queries))
+			for i, q := range queries {
+				res, err := shared.Reliability(q.Terminals, opts...)
+				if err != nil {
+					errs[2*r+1] = err
+					return
+				}
+				out[i] = res
+			}
+			singleOut[r] = out
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < rounds; r++ {
+		for i := range queries {
+			assertSameResult(t, fmt.Sprintf("round %d batch query %d", r, i), want[i], batchOut[r][i])
+			assertSameResult(t, fmt.Sprintf("round %d single query %d", r, i), want[i], singleOut[r][i])
+		}
+	}
+}

@@ -1,0 +1,396 @@
+// Command netreld serves k-terminal reliability queries over HTTP: the
+// first serving-scale entry point of the module. It loads one uncertain
+// graph at startup — from a TSV file or a bundled synthetic dataset —
+// builds a netrel.Session (2ECC index + subproblem result cache) once, and
+// answers single and batch queries concurrently over it. Batch requests
+// ride Session.BatchReliability, so subproblems shared across a request's
+// queries (and across requests, via the session cache) are solved once.
+//
+// Usage:
+//
+//	netreld -dataset Tokyo -scale small -addr :8080
+//	netreld -graph g.tsv -cache 8192
+//
+// Endpoints:
+//
+//	GET  /healthz         liveness probe
+//	GET  /v1/stats        graph shape, uptime, query counters, cache stats
+//	POST /v1/reliability  {"terminals":[0,5],"samples":10000,"seed":1}
+//	POST /v1/batch        {"queries":[{"terminals":[0,5]},...],"samples":1000}
+//
+// Every response is JSON. Per-request options (samples, width, seed,
+// workers, estimator, exact) default to the daemon's flags; results are
+// deterministic per seed regardless of concurrency or worker count.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"netrel"
+	"netrel/datasets"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		graphPath  = flag.String("graph", "", "graph TSV file (overrides -dataset)")
+		dataset    = flag.String("dataset", "Karate", "bundled dataset abbreviation (see datasets.Catalog)")
+		scale      = flag.String("scale", "small", "dataset scale: small|medium|full")
+		dataSeed   = flag.Uint64("dataseed", 42, "dataset generator seed")
+		cacheCap   = flag.Int("cache", netrel.DefaultCacheCapacity, "session result-cache capacity (0 disables)")
+		samples    = flag.Int("samples", 10_000, "default sample budget s")
+		width      = flag.Int("width", 10_000, "default maximum S2BDD width w")
+		workers    = flag.Int("workers", 0, "default worker goroutines (0 = GOMAXPROCS)")
+		maxSamples = flag.Int("maxsamples", 1_000_000, "per-request sample budget cap (0 = no cap)")
+		maxWidth   = flag.Int("maxwidth", 1_000_000, "per-request S2BDD width cap (0 = no cap)")
+		maxQueries = flag.Int("maxqueries", 4096, "per-batch query count cap (0 = no cap)")
+	)
+	flag.Parse()
+
+	g, source, err := loadGraph(*graphPath, *dataset, *scale, *dataSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netreld:", err)
+		os.Exit(1)
+	}
+	srv := newServer(g, source, defaults{
+		samples:    *samples,
+		width:      *width,
+		workers:    *workers,
+		maxSamples: *maxSamples,
+		maxWidth:   *maxWidth,
+		maxQueries: *maxQueries,
+	}, *cacheCap)
+	log.Printf("netreld: serving %s (n=%d, m=%d) on %s", source, g.N(), g.M(), *addr)
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv.handler(),
+		// Computations can legitimately run long, so there is no write
+		// timeout; header/idle timeouts keep slow or stalled clients from
+		// pinning connections.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Fatal(hs.ListenAndServe())
+}
+
+func loadGraph(path, dataset, scale string, seed uint64) (*netrel.Graph, string, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		g, err := netrel.ReadGraph(f)
+		if err != nil {
+			return nil, "", err
+		}
+		return g, path, nil
+	}
+	sc, err := datasets.ParseScale(scale)
+	if err != nil {
+		return nil, "", err
+	}
+	g, err := datasets.Generate(dataset, sc, seed)
+	if err != nil {
+		return nil, "", err
+	}
+	return g, fmt.Sprintf("%s/%s", dataset, scale), nil
+}
+
+// defaults are the daemon-level option defaults a request may override,
+// plus the per-request cost caps it may not exceed.
+type defaults struct {
+	samples    int
+	width      int
+	workers    int
+	maxSamples int
+	maxWidth   int
+	maxQueries int
+}
+
+// server owns the long-lived session and its counters.
+type server struct {
+	sess     *netrel.Session
+	source   string
+	def      defaults
+	started  time.Time
+	queries  atomic.Uint64 // single queries answered
+	batches  atomic.Uint64 // batch requests answered
+	batchQs  atomic.Uint64 // queries answered inside batches
+	failures atomic.Uint64
+}
+
+func newServer(g *netrel.Graph, source string, def defaults, cacheCap int) *server {
+	s := &server{
+		sess:    netrel.NewSession(g),
+		source:  source,
+		def:     def,
+		started: time.Now(),
+	}
+	s.sess.SetCacheCapacity(cacheCap)
+	return s
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/reliability", s.handleReliability)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
+	return mux
+}
+
+// queryRequest is the JSON body of a single reliability query; zero-valued
+// option fields fall back to the daemon defaults.
+type queryRequest struct {
+	Terminals []int  `json:"terminals"`
+	Samples   int    `json:"samples,omitempty"`
+	Width     int    `json:"width,omitempty"`
+	Seed      uint64 `json:"seed,omitempty"`
+	Workers   int    `json:"workers,omitempty"`
+	Estimator string `json:"estimator,omitempty"` // "mc" (default) or "ht"
+	Exact     bool   `json:"exact,omitempty"`
+}
+
+type batchRequest struct {
+	Queries []struct {
+		Terminals []int `json:"terminals"`
+	} `json:"queries"`
+	Samples   int    `json:"samples,omitempty"`
+	Width     int    `json:"width,omitempty"`
+	Seed      uint64 `json:"seed,omitempty"`
+	Workers   int    `json:"workers,omitempty"`
+	Estimator string `json:"estimator,omitempty"`
+}
+
+// queryResponse serializes a netrel.Result.
+type queryResponse struct {
+	Reliability float64  `json:"reliability"`
+	Log10       *float64 `json:"log10,omitempty"` // omitted when -Inf (R = 0)
+	Lower       float64  `json:"lower"`
+	Upper       float64  `json:"upper"`
+	Exact       bool     `json:"exact"`
+	Variance    float64  `json:"variance"`
+	SamplesUsed int      `json:"samples_used"`
+	Subproblems int      `json:"subproblems"`
+	Bridges     int      `json:"bridges,omitempty"`
+	DurationMS  float64  `json:"duration_ms"`
+}
+
+type cacheResponse struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Entries  int    `json:"entries"`
+	Capacity int    `json:"capacity"`
+}
+
+func toResponse(r *netrel.Result) queryResponse {
+	out := queryResponse{
+		Reliability: r.Reliability,
+		Lower:       r.Lower,
+		Upper:       r.Upper,
+		Exact:       r.Exact,
+		Variance:    r.Variance,
+		SamplesUsed: r.SamplesUsed,
+		Subproblems: r.Subproblems,
+		DurationMS:  float64(r.Duration) / float64(time.Millisecond),
+	}
+	if !math.IsInf(r.Log10, -1) {
+		l := r.Log10
+		out.Log10 = &l
+	}
+	if r.Preprocess != nil {
+		out.Bridges = r.Preprocess.Bridges
+	}
+	return out
+}
+
+func (s *server) cacheResponse() cacheResponse {
+	st := s.sess.CacheStats()
+	return cacheResponse{Hits: st.Hits, Misses: st.Misses, Entries: st.Entries, Capacity: st.Capacity}
+}
+
+func (s *server) options(samples, width int, seed uint64, workers int, estimator string) ([]netrel.Option, error) {
+	if samples <= 0 {
+		samples = s.def.samples
+	}
+	if width <= 0 {
+		width = s.def.width
+	}
+	if workers <= 0 {
+		workers = s.def.workers
+	}
+	// Cost caps: one request must not pin the shared daemon.
+	if s.def.maxSamples > 0 && samples > s.def.maxSamples {
+		return nil, fmt.Errorf("samples %d exceeds the daemon cap %d", samples, s.def.maxSamples)
+	}
+	if s.def.maxWidth > 0 && width > s.def.maxWidth {
+		return nil, fmt.Errorf("width %d exceeds the daemon cap %d", width, s.def.maxWidth)
+	}
+	opts := []netrel.Option{
+		netrel.WithSamples(samples),
+		netrel.WithMaxWidth(width),
+		netrel.WithSeed(seed),
+		netrel.WithWorkers(workers),
+	}
+	switch estimator {
+	case "", "mc":
+	case "ht":
+		opts = append(opts, netrel.WithEstimator(netrel.EstimatorHorvitzThompson))
+	default:
+		return nil, fmt.Errorf("unknown estimator %q (want \"mc\" or \"ht\")", estimator)
+	}
+	return opts, nil
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"graph": map[string]any{
+			"source":   s.source,
+			"vertices": s.sess.Graph().N(),
+			"edges":    s.sess.Graph().M(),
+		},
+		"uptime_ms":       float64(time.Since(s.started)) / float64(time.Millisecond),
+		"queries":         s.queries.Load(),
+		"batch_requests":  s.batches.Load(),
+		"batched_queries": s.batchQs.Load(),
+		"failures":        s.failures.Load(),
+		"cache":           s.cacheResponse(),
+	})
+}
+
+func (s *server) handleReliability(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	opts, err := s.options(req.Samples, req.Width, req.Seed, req.Workers, req.Estimator)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var res *netrel.Result
+	if req.Exact {
+		res, err = s.sess.Exact(req.Terminals, opts...)
+	} else {
+		res, err = s.sess.Reliability(req.Terminals, opts...)
+	}
+	if err != nil {
+		s.failures.Add(1)
+		writeError(w, statusFor(err), err)
+		return
+	}
+	s.queries.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"result": toResponse(res),
+		"cache":  s.cacheResponse(),
+	})
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("batch needs at least one query"))
+		return
+	}
+	if s.def.maxQueries > 0 && len(req.Queries) > s.def.maxQueries {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d queries exceeds the daemon cap %d", len(req.Queries), s.def.maxQueries))
+		return
+	}
+	opts, err := s.options(req.Samples, req.Width, req.Seed, req.Workers, req.Estimator)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	queries := make([]netrel.Query, len(req.Queries))
+	for i, q := range req.Queries {
+		queries[i] = netrel.Query{Terminals: q.Terminals}
+	}
+	before := s.sess.CacheStats()
+	start := time.Now()
+	results, err := s.sess.BatchReliability(queries, opts...)
+	if err != nil {
+		s.failures.Add(1)
+		writeError(w, statusFor(err), err)
+		return
+	}
+	after := s.sess.CacheStats()
+	s.batches.Add(1)
+	s.batchQs.Add(uint64(len(results)))
+	out := make([]queryResponse, len(results))
+	for i, r := range results {
+		out[i] = toResponse(r)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"results":     out,
+		"duration_ms": float64(time.Since(start)) / float64(time.Millisecond),
+		// Hit/miss deltas overlap under concurrent requests, but they still
+		// show cache effectiveness per batch on a lightly loaded daemon.
+		"cache_hits":   after.Hits - before.Hits,
+		"cache_misses": after.Misses - before.Misses,
+		"cache":        s.cacheResponse(),
+	})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// statusFor maps computation errors to HTTP statuses: anything the caller
+// can fix (bad terminals, bad options, an exact request over too small a
+// width) is a 400; genuine solver failures are 500s.
+func statusFor(err error) int {
+	if errors.Is(err, netrel.ErrTerminalsRequired) || errors.Is(err, netrel.ErrNotExact) {
+		return http.StatusBadRequest
+	}
+	msg := err.Error()
+	for _, needle := range []string{"terminal", "netrel:", "ugraph:"} {
+		if strings.Contains(msg, needle) {
+			return http.StatusBadRequest
+		}
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("netreld: encoding response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,328 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"netrel"
+)
+
+// quickstartGraph is the 4-cycle from the package quick start.
+func quickstartGraph(t *testing.T) *netrel.Graph {
+	t.Helper()
+	g, err := netrel.FromEdges(4, []netrel.Edge{
+		{U: 0, V: 1, P: 0.9}, {U: 1, V: 2, P: 0.8}, {U: 2, V: 3, P: 0.9}, {U: 3, V: 0, P: 0.7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func testServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	srv := newServer(quickstartGraph(t), "test", defaults{samples: 1000, width: 1000}, 128)
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestSingleReliabilityMatchesLibrary(t *testing.T) {
+	srv, ts := testServer(t)
+	var got struct {
+		Result queryResponse `json:"result"`
+	}
+	code := postJSON(t, ts.URL+"/v1/reliability",
+		`{"terminals":[0,2],"samples":5000,"seed":7}`, &got)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	want, err := netrel.NewSession(srv.sess.Graph()).Reliability([]int{0, 2},
+		netrel.WithSamples(5000), netrel.WithSeed(7), netrel.WithMaxWidth(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Result.Reliability != want.Reliability {
+		t.Fatalf("daemon %v vs library %v", got.Result.Reliability, want.Reliability)
+	}
+	if got.Result.Reliability <= 0 || got.Result.Reliability >= 1 {
+		t.Fatalf("implausible reliability %v", got.Result.Reliability)
+	}
+}
+
+func TestExactQuery(t *testing.T) {
+	_, ts := testServer(t)
+	var got struct {
+		Result queryResponse `json:"result"`
+	}
+	code := postJSON(t, ts.URL+"/v1/reliability", `{"terminals":[0,2],"exact":true}`, &got)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !got.Result.Exact {
+		t.Fatal("exact query returned a sampled result")
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	srv, ts := testServer(t)
+	var got struct {
+		Results     []queryResponse `json:"results"`
+		CacheHits   uint64          `json:"cache_hits"`
+		CacheMisses uint64          `json:"cache_misses"`
+		Cache       cacheResponse   `json:"cache"`
+	}
+	body := `{"queries":[{"terminals":[0,2]},{"terminals":[1,3]},{"terminals":[0,2]}],"samples":2000,"seed":3}`
+	code := postJSON(t, ts.URL+"/v1/batch", body, &got)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(got.Results) != 3 {
+		t.Fatalf("%d results, want 3", len(got.Results))
+	}
+	// Queries 0 and 2 are identical; the dedup must make them bit-equal.
+	if got.Results[0].Reliability != got.Results[2].Reliability {
+		t.Fatal("identical queries diverged in one batch")
+	}
+	want, err := netrel.NewSession(srv.sess.Graph()).Reliability([]int{0, 2},
+		netrel.WithSamples(2000), netrel.WithSeed(3), netrel.WithMaxWidth(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Results[0].Reliability != want.Reliability {
+		t.Fatalf("batch %v vs library %v", got.Results[0].Reliability, want.Reliability)
+	}
+	if got.CacheMisses == 0 {
+		t.Fatal("first batch should have missed the cache")
+	}
+
+	// The same batch again is served from cache, identically.
+	var warm struct {
+		Results     []queryResponse `json:"results"`
+		CacheHits   uint64          `json:"cache_hits"`
+		CacheMisses uint64          `json:"cache_misses"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/batch", body, &warm); code != http.StatusOK {
+		t.Fatalf("warm status %d", code)
+	}
+	if warm.CacheMisses != 0 || warm.CacheHits == 0 {
+		t.Fatalf("warm batch hits/misses = %d/%d, want all hits", warm.CacheHits, warm.CacheMisses)
+	}
+	if warm.Results[0].Reliability != got.Results[0].Reliability {
+		t.Fatal("warm batch diverged from cold batch")
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	postJSON(t, ts.URL+"/v1/reliability", `{"terminals":[0,2]}`, nil)
+	postJSON(t, ts.URL+"/v1/batch", `{"queries":[{"terminals":[0,3]}]}`, nil)
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Graph struct {
+			Vertices int `json:"vertices"`
+			Edges    int `json:"edges"`
+		} `json:"graph"`
+		Queries        uint64        `json:"queries"`
+		BatchRequests  uint64        `json:"batch_requests"`
+		BatchedQueries uint64        `json:"batched_queries"`
+		Cache          cacheResponse `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Graph.Vertices != 4 || stats.Graph.Edges != 4 {
+		t.Fatalf("graph shape %d/%d", stats.Graph.Vertices, stats.Graph.Edges)
+	}
+	if stats.Queries != 1 || stats.BatchRequests != 1 || stats.BatchedQueries != 1 {
+		t.Fatalf("counters %d/%d/%d", stats.Queries, stats.BatchRequests, stats.BatchedQueries)
+	}
+	if stats.Cache.Capacity != 128 {
+		t.Fatalf("cache capacity %d", stats.Cache.Capacity)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	_, ts := testServer(t)
+	cases := []struct {
+		url, body string
+		want      int
+	}{
+		{"/v1/reliability", `{"terminals":[]}`, http.StatusBadRequest},
+		{"/v1/reliability", `{"terminals":[99]}`, http.StatusBadRequest},
+		{"/v1/reliability", `{"bogus":1}`, http.StatusBadRequest},
+		{"/v1/reliability", `not json`, http.StatusBadRequest},
+		{"/v1/reliability", `{"terminals":[0,1],"estimator":"nope"}`, http.StatusBadRequest},
+		{"/v1/batch", `{"queries":[]}`, http.StatusBadRequest},
+		{"/v1/batch", `{"queries":[{"terminals":[0]},{"terminals":[44]}]}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		var got map[string]any
+		if code := postJSON(t, ts.URL+c.url, c.body, &got); code != c.want {
+			t.Errorf("POST %s %q: status %d, want %d", c.url, c.body, code, c.want)
+		} else if got["error"] == "" {
+			t.Errorf("POST %s %q: missing error body", c.url, c.body)
+		}
+	}
+	// GET on a POST endpoint.
+	resp, err := http.Get(ts.URL + "/v1/reliability")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestRequestCostCaps(t *testing.T) {
+	srv := newServer(quickstartGraph(t), "test", defaults{
+		samples: 1000, width: 1000,
+		maxSamples: 5000, maxWidth: 2000, maxQueries: 2,
+	}, 16)
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+
+	cases := []struct {
+		url, body string
+		want      int
+	}{
+		{"/v1/reliability", `{"terminals":[0,2],"samples":5001}`, http.StatusBadRequest},
+		{"/v1/reliability", `{"terminals":[0,2],"width":2001}`, http.StatusBadRequest},
+		{"/v1/reliability", `{"terminals":[0,2],"samples":5000,"width":2000}`, http.StatusOK},
+		{"/v1/batch", `{"queries":[{"terminals":[0,2]},{"terminals":[1,3]},{"terminals":[0,3]}]}`, http.StatusBadRequest},
+		{"/v1/batch", `{"queries":[{"terminals":[0,2]},{"terminals":[1,3]}]}`, http.StatusOK},
+	}
+	for _, c := range cases {
+		if code := postJSON(t, ts.URL+c.url, c.body, nil); code != c.want {
+			t.Errorf("POST %s %q: status %d, want %d", c.url, c.body, code, c.want)
+		}
+	}
+}
+
+func TestExactTooNarrowIsClientError(t *testing.T) {
+	// A 5x5 grid at width 2 cannot be solved exactly; the daemon must
+	// report 400 (the caller can raise width), not 500.
+	g := netrel.NewGraph(25)
+	for r := 0; r < 5; r++ {
+		for c := 0; c < 5; c++ {
+			if c+1 < 5 {
+				if err := g.AddEdge(r*5+c, r*5+c+1, 0.5); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if r+1 < 5 {
+				if err := g.AddEdge(r*5+c, (r+1)*5+c, 0.5); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	srv := newServer(g, "grid", defaults{samples: 100, width: 1000}, 16)
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	code := postJSON(t, ts.URL+"/v1/reliability", `{"terminals":[0,24],"exact":true,"width":2}`, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("ErrNotExact status %d, want 400", code)
+	}
+}
+
+func TestLoadGraphFromFileAndDataset(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.tsv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := quickstartGraph(t).Write(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	g, source, err := loadGraph(path, "", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || source != path {
+		t.Fatalf("loaded %d vertices from %q", g.N(), source)
+	}
+
+	g, source, err = loadGraph("", "Karate", "small", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 34 || source != "Karate/small" {
+		t.Fatalf("dataset load: n=%d source=%q", g.N(), source)
+	}
+
+	if _, _, err := loadGraph("", "NoSuch", "small", 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if _, _, err := loadGraph("", "Karate", "huge", 1); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+	if _, _, err := loadGraph(filepath.Join(dir, "missing.tsv"), "", "", 0); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	_, ts := testServer(t)
+	done := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func(i int) {
+			body := fmt.Sprintf(`{"terminals":[0,%d],"samples":500,"seed":9}`, 1+i%3)
+			resp, err := http.Post(ts.URL+"/v1/reliability", "application/json",
+				bytes.NewReader([]byte(body)))
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					err = fmt.Errorf("status %d", resp.StatusCode)
+				}
+			}
+			done <- err
+		}(i)
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

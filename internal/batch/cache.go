@@ -1,0 +1,107 @@
+package batch
+
+import (
+	"container/list"
+	"sync"
+
+	"netrel/internal/core"
+	"netrel/internal/preprocess"
+)
+
+// Key identifies one cached subproblem result: the subproblem's canonical
+// signature plus a fingerprint of every option that affects the solve
+// (samples, width, seed, estimator, ordering, ablations — but not the
+// worker count, which never changes results).
+type Key struct {
+	Sig         preprocess.Signature
+	Fingerprint uint64
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness.
+type Stats struct {
+	// Hits and Misses count Get outcomes since the cache was created.
+	Hits, Misses uint64
+	// Entries is the current number of cached results; Capacity the
+	// maximum before LRU eviction.
+	Entries, Capacity int
+}
+
+// Cache is a thread-safe LRU of solved subproblem results. core.Result
+// values are stored by value and immutable once computed, so a hit can be
+// used without copying concerns.
+type Cache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	items  map[Key]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type entry struct {
+	key Key
+	res core.Result
+}
+
+// NewCache returns an LRU cache holding up to capacity results; capacity
+// ≤ 0 returns a nil cache, on which every method is a no-op (Get always
+// misses), so callers can disable caching without branching.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Cache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[Key]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached result for k, marking it most recently used.
+func (c *Cache) Get(k Key) (core.Result, bool) {
+	if c == nil {
+		return core.Result{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.misses++
+		return core.Result{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).res, true
+}
+
+// Put stores the result for k, evicting the least recently used entry when
+// the cache is full. Storing an existing key refreshes its recency (the
+// value is identical by construction: solves are deterministic per key).
+func (c *Cache) Put(k Key, res core.Result) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*entry).res = res
+		return
+	}
+	c.items[k] = c.ll.PushFront(&entry{key: k, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry).key)
+	}
+}
+
+// Stats snapshots hit/miss counters and occupancy.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len(), Capacity: c.cap}
+}

@@ -1,0 +1,216 @@
+package expt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"runtime"
+	"time"
+
+	"netrel"
+	"netrel/datasets"
+)
+
+// BenchRow is one measured workload of the benchmark trajectory.
+type BenchRow struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// Runs is the number of repetitions measured (NsPerOp is the fastest).
+	Runs int `json:"runs"`
+}
+
+// BenchReport is the machine-readable benchmark snapshot emitted as
+// BENCH_*.json so per-PR performance trajectories can be diffed by tooling
+// rather than eyeballed from `go test -bench` text output.
+type BenchReport struct {
+	Schema     string `json:"schema"` // "netrel-bench/v1"
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Scale      string `json:"scale"`
+	Samples    int    `json:"samples"`
+	// Rows reports ns/op per workload (S2BDD hot paths and the batch
+	// engine's sequential vs batched runs).
+	Rows []BenchRow `json:"rows"`
+	// BatchSpeedup is sequential-ns / batch-ns on the shared-subproblem
+	// workload; the batch engine's acceptance bar is ≥ 1.5.
+	BatchSpeedup float64 `json:"batch_speedup"`
+	// SharedFraction is 1 − unique/total subproblems of that workload
+	// (the acceptance workload requires ≥ 0.30).
+	SharedFraction float64 `json:"shared_subproblem_fraction"`
+}
+
+// benchRepetitions is the number of times each workload runs; the fastest
+// repetition is reported (standard practice for wall-clock benches: the
+// minimum is the least noisy estimator of the true cost).
+const benchRepetitions = 3
+
+func measure(reps int, f func() error) (time.Duration, error) {
+	best := time.Duration(0)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		d := time.Since(start)
+		if i == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// BenchBlockChain builds the batch acceptance workload: `blocks` dense
+// ring-with-chords 2ECCs joined by single bridges (p = 0.8). End-to-end
+// terminal pairs then share every interior block. Exported so the root
+// BenchmarkBatchReliability measures the same canonical workload this
+// package's BENCH_*.json trajectory reports.
+func BenchBlockChain(blocks, blockSize int, seed uint64) (*netrel.Graph, error) {
+	rng := rand.New(rand.NewPCG(seed, 0xbe9c4))
+	g := netrel.NewGraph(blocks * blockSize)
+	for b := 0; b < blocks; b++ {
+		base := b * blockSize
+		for i := 0; i < blockSize; i++ {
+			if err := g.AddEdge(base+i, base+(i+1)%blockSize, 0.3+0.6*rng.Float64()); err != nil {
+				return nil, err
+			}
+		}
+		for i := 0; i < blockSize; i++ {
+			u, v := rng.IntN(blockSize), rng.IntN(blockSize)
+			if u != v && v != (u+1)%blockSize && u != (v+1)%blockSize {
+				if err := g.AddEdge(base+u, base+v, 0.3+0.6*rng.Float64()); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if b > 0 {
+			if err := g.AddEdge(base-1, base, 0.8); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// BenchQueries returns n end-to-end terminal pairs over a BenchBlockChain
+// graph: terminals vary inside the first and last block, so every interior
+// block is shared by the whole batch.
+func BenchQueries(g *netrel.Graph, blockSize, n int) []netrel.Query {
+	queries := make([]netrel.Query, n)
+	for i := range queries {
+		u := i % (blockSize - 1)
+		v := g.N() - 1 - (i+1)%(blockSize-1)
+		queries[i] = netrel.Query{Terminals: []int{u, v}}
+	}
+	return queries
+}
+
+// BenchTrajectory measures the S2BDD sampling hot path and the batch
+// engine's speedup over sequential per-query solving, returning a report
+// ready to serialize as BENCH_*.json.
+func BenchTrajectory(cfg Config) (*BenchReport, error) {
+	cfg = cfg.withDefaults()
+	report := &BenchReport{
+		Schema:     "netrel-bench/v1",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Scale:      cfg.Scale.String(),
+		Samples:    cfg.Samples,
+	}
+
+	// --- S2BDD hot paths on the road network (the paper's best case). ---
+	tokyo, err := datasets.Generate("Tokyo", cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("expt: generating Tokyo: %w", err)
+	}
+	terms, err := datasets.RandomTerminals(tokyo, 10, cfg.Seed+23)
+	if err != nil {
+		return nil, err
+	}
+	pipeline, err := measure(benchRepetitions, func() error {
+		_, err := netrel.Reliability(tokyo, terms,
+			netrel.WithSamples(cfg.Samples), netrel.WithMaxWidth(cfg.Width),
+			netrel.WithSeed(cfg.Seed))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	report.Rows = append(report.Rows, BenchRow{
+		Name: "s2bdd/pipeline", NsPerOp: float64(pipeline.Nanoseconds()), Runs: benchRepetitions,
+	})
+	// A narrow width with Theorem 1 reduction disabled forces the
+	// stratified completion sampler to do nearly all the work — the
+	// parallel hot path BenchmarkParallelS2BDD tracks.
+	sampler, err := measure(benchRepetitions, func() error {
+		_, err := netrel.Reliability(tokyo, terms,
+			netrel.WithSamples(cfg.Samples), netrel.WithMaxWidth(64),
+			netrel.WithoutSampleReduction(), netrel.WithSeed(cfg.Seed))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	report.Rows = append(report.Rows, BenchRow{
+		Name: "s2bdd/sampling-hot-path", NsPerOp: float64(sampler.Nanoseconds()), Runs: benchRepetitions,
+	})
+
+	// --- Batch engine vs sequential per-query solving. ---
+	const blocks, blockSize, nQueries = 8, 10, 12
+	chain, err := BenchBlockChain(blocks, blockSize, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	queries := BenchQueries(chain, blockSize, nQueries)
+	batchOpts := []netrel.Option{
+		netrel.WithSamples(cfg.Samples), netrel.WithMaxWidth(24),
+		netrel.WithoutSampleReduction(), netrel.WithSeed(cfg.Seed),
+	}
+	seq, err := measure(benchRepetitions, func() error {
+		s := netrel.NewSession(chain)
+		s.SetCacheCapacity(0) // sequential baseline: no result reuse at all
+		for _, q := range queries {
+			if _, err := s.Reliability(q.Terminals, batchOpts...); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var shared float64
+	bat, err := measure(benchRepetitions, func() error {
+		s := netrel.NewSession(chain)
+		res, err := s.BatchReliability(queries, batchOpts...)
+		if err != nil {
+			return err
+		}
+		total := 0
+		for _, r := range res {
+			total += r.Subproblems
+		}
+		if total > 0 {
+			shared = 1 - float64(s.CacheStats().Misses)/float64(total)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	report.Rows = append(report.Rows,
+		BenchRow{Name: "batch/sequential", NsPerOp: float64(seq.Nanoseconds()), Runs: benchRepetitions},
+		BenchRow{Name: "batch/batched", NsPerOp: float64(bat.Nanoseconds()), Runs: benchRepetitions},
+	)
+	if bat > 0 {
+		report.BatchSpeedup = float64(seq) / float64(bat)
+	}
+	report.SharedFraction = shared
+	return report, nil
+}
+
+// RenderBenchJSON writes the report as indented JSON (the BENCH_*.json
+// payload).
+func RenderBenchJSON(w io.Writer, report *BenchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

@@ -1,0 +1,55 @@
+package expt
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"netrel/datasets"
+)
+
+func TestBenchTrajectoryReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement")
+	}
+	cfg := Config{Scale: datasets.Small, Samples: 300, Width: 1000, Seed: 9}
+	report, err := BenchTrajectory(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Schema != "netrel-bench/v1" {
+		t.Fatalf("schema %q", report.Schema)
+	}
+	names := map[string]bool{}
+	for _, row := range report.Rows {
+		if row.NsPerOp <= 0 {
+			t.Fatalf("row %s has ns/op %v", row.Name, row.NsPerOp)
+		}
+		names[row.Name] = true
+	}
+	for _, want := range []string{"s2bdd/pipeline", "s2bdd/sampling-hot-path", "batch/sequential", "batch/batched"} {
+		if !names[want] {
+			t.Fatalf("missing row %q (have %v)", want, names)
+		}
+	}
+	if report.BatchSpeedup <= 0 {
+		t.Fatalf("batch speedup %v", report.BatchSpeedup)
+	}
+	// The sharing structure is deterministic: the acceptance workload must
+	// share at least 30% of its subproblems.
+	if report.SharedFraction < 0.30 {
+		t.Fatalf("shared fraction %v < 0.30", report.SharedFraction)
+	}
+
+	var buf bytes.Buffer
+	if err := RenderBenchJSON(&buf, report); err != nil {
+		t.Fatal(err)
+	}
+	var round BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(round.Rows) != len(report.Rows) {
+		t.Fatal("JSON round trip lost rows")
+	}
+}

@@ -24,6 +24,10 @@ type Subproblem struct {
 	// EdgesBeforeTransform counts the subgraph's edges before the
 	// series/parallel/loop rewrites (for the Table 5 statistic).
 	EdgesBeforeTransform int
+	// Sig is the canonical signature of (G, Terminals); equal signatures
+	// mean byte-identical solver inputs, which is what batch planners and
+	// result caches key on.
+	Sig Signature
 }
 
 // Result is the outcome of the extension technique:
@@ -38,6 +42,9 @@ type Result struct {
 	// Disconnected reports that the terminals cannot be connected in any
 	// world: R = 0 regardless of PB and subproblems.
 	Disconnected bool
+	// Bridges is the number of bridge edges whose probability was factored
+	// into PB exactly (the bridges kept by the prune phase).
+	Bridges int
 
 	// Statistics for Table 5 and diagnostics.
 	OriginalVertices, OriginalEdges int
@@ -161,6 +168,7 @@ func Run(g *ugraph.Graph, ts ugraph.Terminals, idx *Index) (*Result, error) {
 			continue
 		}
 		res.PB = res.PB.MulFloat64(e.P)
+		res.Bridges++
 		extraTerms[cu] = append(extraTerms[cu], e.U)
 		extraTerms[cv] = append(extraTerms[cv], e.V)
 	}
@@ -334,6 +342,7 @@ func buildSubproblem(g *ugraph.Graph, idx *Index, c int32, verts []int, terms []
 		Terminals:            ts2,
 		VertexMap:            outMap,
 		EdgesBeforeTransform: before,
+		Sig:                  Sign(sg, ts2),
 	}, nil
 }
 

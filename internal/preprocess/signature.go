@@ -1,0 +1,67 @@
+package preprocess
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+
+	"netrel/internal/ugraph"
+)
+
+// Signature canonically identifies a decomposed subproblem: the 128-bit
+// FNV-1a hash of its vertex-relabeled edge list (endpoints and probability
+// bits, in edge order) together with its terminal set. Subgraphs built by
+// the decomposition are already relabeled canonically — local vertex ids
+// follow ascending original ids and edges follow original edge order — so
+// two queries that decompose onto the same 2ECC with the same effective
+// terminal set produce byte-identical inputs and therefore equal
+// signatures.
+//
+// The edge list is hashed in order, not sorted: the S2BDD's edge ordering
+// (and hence its sampled estimate) depends on the edge list as given, so
+// equality of signatures must guarantee equality of the exact solver input,
+// not merely of the underlying graph.
+//
+// Signatures are stable across processes (no per-run hash seeding), which
+// lets callers derive per-subproblem RNG seeds from them: a subproblem's
+// random stream then depends only on what is being solved, never on which
+// query — or which position within a query — asked for it.
+type Signature struct {
+	Hi, Lo uint64
+}
+
+// Sign computes the canonical signature of (g, ts).
+func Sign(g *ugraph.Graph, ts ugraph.Terminals) Signature {
+	h := fnv.New128a()
+	var buf [8]byte
+	put := func(x uint64) {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		h.Write(buf[:])
+	}
+	put(uint64(g.N()))
+	put(uint64(g.M()))
+	for _, e := range g.Edges() {
+		put(uint64(e.U))
+		put(uint64(e.V))
+		put(math.Float64bits(e.P))
+	}
+	put(uint64(len(ts)))
+	for _, t := range ts {
+		put(uint64(t))
+	}
+	var sum [16]byte
+	s := h.Sum(sum[:0])
+	return Signature{
+		Hi: binary.BigEndian.Uint64(s[:8]),
+		Lo: binary.BigEndian.Uint64(s[8:]),
+	}
+}
+
+// Less orders signatures lexicographically (a deterministic tie-break for
+// schedulers).
+func (s Signature) Less(o Signature) bool {
+	if s.Hi != o.Hi {
+		return s.Hi < o.Hi
+	}
+	return s.Lo < o.Lo
+}

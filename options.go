@@ -2,9 +2,11 @@ package netrel
 
 import (
 	"fmt"
+	"math"
 
 	"netrel/internal/estimator"
 	"netrel/internal/order"
+	"netrel/internal/sampling"
 )
 
 // Estimator selects the sampling estimator.
@@ -214,6 +216,36 @@ func buildOptions(opts []Option) (options, error) {
 		}
 	}
 	return o, nil
+}
+
+// fingerprint condenses every option that can change a subproblem's solved
+// result into one cache-key component. The worker count is deliberately
+// excluded — the parallel schedule is worker-count independent, so results
+// are too — as is the BDD baseline's node budget, which the pipeline never
+// reads. exactOnly distinguishes Exact from Reliability runs over the same
+// option set.
+func (o *options) fingerprint(exactOnly bool) uint64 {
+	b2u := func(b bool) uint64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	return sampling.SeedStream(0x6e657472656c_f9, // "netrel" fingerprint domain
+		uint64(o.samples),
+		uint64(o.maxWidth),
+		uint64(o.est),
+		o.seed,
+		uint64(o.ordering),
+		b2u(o.noExtension),
+		b2u(o.noEarlyTerm),
+		b2u(o.noHeuristic),
+		b2u(o.noStall),
+		b2u(o.noReduction),
+		uint64(o.stallWindow),
+		math.Float64bits(o.stallThreshold),
+		b2u(exactOnly),
+	)
 }
 
 func (o *options) estimatorKind() estimator.Kind {

@@ -18,6 +18,19 @@
 //	g.AddEdge(2, 3, 0.9)
 //	g.AddEdge(3, 0, 0.7)
 //	res, err := netrel.Reliability(g, []int{0, 2}, netrel.WithSamples(10000))
+//
+// For many queries against one graph, build a Session: it precomputes the
+// 2ECC index once and caches solved subproblem results, and its
+// BatchReliability answers whole query batches by deduplicating the
+// decomposed subproblems across queries — bit-identical to querying one at
+// a time, since every subproblem's random stream derives from a canonical
+// signature of what is being solved:
+//
+//	s := netrel.NewSession(g)
+//	results, err := s.BatchReliability([]netrel.Query{
+//		{Terminals: []int{0, 2}},
+//		{Terminals: []int{1, 3}},
+//	}, netrel.WithSamples(10000), netrel.WithSeed(1))
 package netrel
 
 import (
@@ -26,10 +39,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"netrel/internal/batch"
 	"netrel/internal/bdd"
 	"netrel/internal/core"
 	"netrel/internal/exact"
 	"netrel/internal/order"
+	"netrel/internal/preprocess"
 	"netrel/internal/sampling"
 	"netrel/internal/ugraph"
 	"netrel/internal/xfloat"
@@ -82,6 +97,12 @@ type PreprocessStats struct {
 
 // ErrTerminalsRequired reports fewer than one terminal.
 var ErrTerminalsRequired = errors.New("netrel: at least one terminal is required")
+
+// ErrNotExact reports that an Exact call would have required sampling: the
+// graph is too large for an exact S2BDD within the configured MaxWidth.
+// Callers can retry with a larger WithMaxWidth or accept an approximation
+// via Reliability.
+var ErrNotExact = core.ErrNotExact
 
 // Reliability approximates R[G,T] with the paper's full pipeline:
 // preprocess (unless disabled) → S2BDD with bounds, Theorem 1 sample
@@ -201,25 +222,43 @@ func Factoring(g *Graph, terminals []int) (*Result, error) {
 	}, nil
 }
 
-// pipelineJob is one decomposed subproblem of the Algorithm 1 pipeline.
+// pipelineJob is one decomposed subproblem of the Algorithm 1 pipeline,
+// carrying the canonical signature that identifies it across queries.
 type pipelineJob struct {
-	g  *ugraph.Graph
-	ts ugraph.Terminals
+	g   *ugraph.Graph
+	ts  ugraph.Terminals
+	sig preprocess.Signature
 }
 
 func xfloatOne() xfloat.F { return xfloat.One }
 
-// solveJob runs one decomposed subproblem through the S2BDD. Each job's
-// seed is derived from its index, and the S2BDD itself is worker-count
+// jobSeed derives a subproblem's RNG seed from its canonical signature.
+// Seeding by signature — never by the subproblem's position within a query
+// or its arrival order in a batch — is what makes deduplicated batch
+// solving bit-identical to solving each query alone: the same subproblem
+// draws the same completions no matter who asked for it.
+//
+// Consequence: if one query contains two byte-identical subproblems (e.g.
+// isomorphic blocks with equal probabilities), they share an estimate, so
+// the product uses R̂² whose expectation exceeds R² by Var(R̂) — a bias of
+// order 1/s, far below the sampling error itself, and the unavoidable
+// price of dedup-consistent seeding (a batch solves such twins once by
+// design, which yields exactly the same correlation).
+func jobSeed(seed uint64, sig preprocess.Signature) uint64 {
+	return sampling.SeedStream(seed, sig.Hi, sig.Lo)
+}
+
+// solveJob runs one decomposed subproblem through the S2BDD. The job's seed
+// is derived from its signature, and the S2BDD itself is worker-count
 // independent, so job results don't depend on how the pipeline schedules
 // them.
-func solveJob(j pipelineJob, i int, o options, exactOnly bool, workers int) (core.Result, error) {
+func solveJob(j pipelineJob, o options, exactOnly bool, workers int) (core.Result, error) {
 	ord := order.Compute(j.g, o.ordering.strategy(), j.ts[0])
 	cfg := core.Config{
 		MaxWidth:                o.maxWidth,
 		Samples:                 o.samples,
 		Estimator:               o.estimatorKind(),
-		Seed:                    o.seed + uint64(i)*0x9e3779b97f4a7c15,
+		Seed:                    jobSeed(o.seed, j.sig),
 		Order:                   ord,
 		ExactOnly:               exactOnly,
 		Workers:                 workers,
@@ -233,34 +272,32 @@ func solveJob(j pipelineJob, i int, o options, exactOnly bool, workers int) (cor
 	return core.Compute(j.g, j.ts, cfg)
 }
 
-// finishPipeline solves each subproblem with the S2BDD and combines the
-// results: R = factor · Π R_i, with bounds and variance propagated.
+// solveJobs solves the given subproblems concurrently with bounded
+// job-level parallelism, consulting (and filling) the session result cache
+// when one is present. Results are returned by job index.
 //
-// Independent subproblems run concurrently with bounded job-level
-// parallelism, each with the full sampling-worker budget. Per-job results
-// are collected by index and combined in job order, so the product — like
-// everything else governed by WithWorkers — is bit-identical for every
-// worker count.
-func finishPipeline(out *Result, jobs []pipelineJob, factor xfloat.F, o options, exactOnly bool, start time.Time) (*Result, error) {
-	estX := factor
-	lowX := factor
-	upX := factor
-	allExact := true
-	varianceTerms := make([]float64, 0, len(jobs))
-	rhats := make([]float64, 0, len(jobs))
+// Every job gets the full worker budget: goroutine-level oversubscription
+// is harmless (the Go scheduler multiplexes onto GOMAXPROCS threads), and
+// once the small 2ECCs finish the dominant subproblem — typically holding
+// most of the edges — keeps all cores instead of a split share.
+func solveJobs(jobs []pipelineJob, o options, exactOnly bool, cache *batch.Cache) ([]core.Result, error) {
+	results := make([]core.Result, len(jobs))
+	fp := o.fingerprint(exactOnly)
+	miss := make([]int, 0, len(jobs))
+	for i, j := range jobs {
+		if r, ok := cache.Get(batch.Key{Sig: j.sig, Fingerprint: fp}); ok {
+			results[i] = r
+		} else {
+			miss = append(miss, i)
+		}
+	}
 
 	total := sampling.ClampWorkers(o.workers, 0)
-	jobPar := min(total, len(jobs))
-
-	// Every job gets the full worker budget: goroutine-level oversubscription
-	// is harmless (the Go scheduler multiplexes onto GOMAXPROCS threads), and
-	// once the small 2ECCs finish the dominant subproblem — typically holding
-	// most of the edges — keeps all cores instead of the jobPar-way split.
-	results := make([]core.Result, len(jobs))
+	jobPar := min(total, len(miss))
 	errs := make([]error, len(jobs))
 	var failed atomic.Bool
-	sampling.ForEachChunk(len(jobs), jobPar, func() func(int) {
-		return func(i int) {
+	sampling.ForEachChunk(len(miss), jobPar, func() func(int) {
+		return func(k int) {
 			// Skip remaining jobs once any job failed (e.g. ErrNotExact from
 			// a tiny component under exactOnly) rather than solving large
 			// subproblems whose result will be discarded. Which jobs were
@@ -269,7 +306,8 @@ func finishPipeline(out *Result, jobs []pipelineJob, factor xfloat.F, o options,
 			if failed.Load() {
 				return
 			}
-			results[i], errs[i] = solveJob(jobs[i], i, o, exactOnly, total)
+			i := miss[k]
+			results[i], errs[i] = solveJob(jobs[i], o, exactOnly, total)
 			if errs[i] != nil {
 				failed.Store(true)
 			}
@@ -280,8 +318,26 @@ func finishPipeline(out *Result, jobs []pipelineJob, factor xfloat.F, o options,
 			return nil, err
 		}
 	}
+	for _, i := range miss {
+		cache.Put(batch.Key{Sig: jobs[i].sig, Fingerprint: fp}, results[i])
+	}
+	return results, nil
+}
 
-	for i := range jobs {
+// combineResults folds per-subproblem results into the final answer:
+// R = factor · Π R_i, with bounds and variance propagated. Results are
+// combined in job order, so the product — like everything else governed by
+// WithWorkers — is bit-identical for every worker count and for every way
+// the subproblems were scheduled (sequentially, batched, or from cache).
+func combineResults(out *Result, results []core.Result, factor xfloat.F, start time.Time) *Result {
+	estX := factor
+	lowX := factor
+	upX := factor
+	allExact := true
+	varianceTerms := make([]float64, 0, len(results))
+	rhats := make([]float64, 0, len(results))
+
+	for i := range results {
 		res := results[i]
 		estX = estX.Mul(res.EstimateX)
 		lowX = lowX.Mul(res.LowerX)
@@ -293,7 +349,7 @@ func finishPipeline(out *Result, jobs []pipelineJob, factor xfloat.F, o options,
 		rhats = append(rhats, res.Estimate)
 	}
 
-	out.Subproblems = len(jobs)
+	out.Subproblems = len(results)
 	out.Exact = allExact
 	out.Reliability = estX.Clamp01().Float64()
 	out.Log10 = log10X(estX)
@@ -303,7 +359,16 @@ func finishPipeline(out *Result, jobs []pipelineJob, factor xfloat.F, o options,
 		out.Variance = productVariance(factor.Clamp01().Float64(), rhats, varianceTerms)
 	}
 	out.Duration = time.Since(start)
-	return out, nil
+	return out
+}
+
+// finishPipeline solves a planned query's subproblems and combines them.
+func finishPipeline(p *queryPlan, o options, exactOnly bool, cache *batch.Cache) (*Result, error) {
+	results, err := solveJobs(p.jobs, o, exactOnly, cache)
+	if err != nil {
+		return nil, err
+	}
+	return combineResults(p.out, results, p.factor, p.start), nil
 }
 
 // productVariance propagates per-factor variances through the product

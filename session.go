@@ -4,9 +4,15 @@ import (
 	"math"
 	"time"
 
+	"netrel/internal/batch"
 	"netrel/internal/preprocess"
 	"netrel/internal/ugraph"
+	"netrel/internal/xfloat"
 )
+
+// DefaultCacheCapacity is the number of solved subproblem results a new
+// Session retains (see Session's cache discussion).
+const DefaultCacheCapacity = 4096
 
 // Session caches per-graph preprocessing across reliability queries. The
 // extension technique's 2-edge-connected-component index depends only on
@@ -14,88 +20,159 @@ import (
 // as an index", Section 5); a Session does the same, which matters on large
 // graphs where index construction costs close to a full sampling pass.
 //
+// Beyond the index, a Session keeps an LRU cache of solved subproblem
+// results keyed by (canonical subproblem signature, options fingerprint).
+// Because each subproblem's RNG seed derives from its signature, a cached
+// result is bit-identical to a fresh solve, so repeat queries — and the
+// shared interior subproblems of BatchReliability workloads — skip straight
+// to recombination. CacheStats reports effectiveness; SetCacheCapacity
+// resizes or disables the cache.
+//
 // The Session shares the Graph; the graph must not be modified while the
 // session is in use. Sessions are safe for concurrent queries (the index is
-// read-only after construction). Within one query, decomposed subproblems
-// run concurrently under the WithWorkers budget — see finishPipeline — so a
-// session serving many callers composes two levels of parallelism; results
-// are independent of both.
+// read-only after construction and the cache is internally locked). Within
+// one query, decomposed subproblems run concurrently under the WithWorkers
+// budget — see solveJobs — so a session serving many callers composes two
+// levels of parallelism; results are independent of both.
 type Session struct {
-	g   *Graph
-	idx *preprocess.Index
+	g     *Graph
+	idx   *preprocess.Index
+	cache *batch.Cache
 }
 
 // NewSession builds the topology index for g eagerly and returns a query
-// session.
+// session with a result cache of DefaultCacheCapacity subproblems.
 func NewSession(g *Graph) *Session {
-	return &Session{g: g, idx: preprocess.BuildIndex(g.internal())}
+	return &Session{
+		g:     g,
+		idx:   preprocess.BuildIndex(g.internal()),
+		cache: batch.NewCache(DefaultCacheCapacity),
+	}
 }
 
 // Graph returns the underlying graph.
 func (s *Session) Graph() *Graph { return s.g }
 
+// SetCacheCapacity replaces the session's result cache with a fresh one
+// holding up to n subproblem results; n ≤ 0 disables caching. Existing
+// cached results and statistics are discarded. Not safe to call
+// concurrently with queries.
+func (s *Session) SetCacheCapacity(n int) {
+	s.cache = batch.NewCache(n)
+}
+
+// CacheStats reports the session result cache's hit/miss counters and
+// occupancy (zero values when caching is disabled).
+func (s *Session) CacheStats() CacheStats {
+	st := s.cache.Stats()
+	return CacheStats{Hits: st.Hits, Misses: st.Misses, Entries: st.Entries, Capacity: st.Capacity}
+}
+
+// CacheStats reports session result-cache effectiveness.
+type CacheStats struct {
+	// Hits and Misses count subproblem lookups since the session (or the
+	// last SetCacheCapacity call).
+	Hits, Misses uint64
+	// Entries is the number of cached subproblem results; Capacity the LRU
+	// limit.
+	Entries, Capacity int
+}
+
 // Reliability runs the full pipeline like the package-level Reliability,
-// reusing the session's precomputed index.
+// reusing the session's precomputed index and result cache.
 func (s *Session) Reliability(terminals []int, opts ...Option) (*Result, error) {
 	o, err := buildOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	return runWithIndex(s.g, terminals, o, false, s.idx)
+	return runWithIndex(s.g, terminals, o, false, s.idx, s.cache)
 }
 
 // Exact runs the exact pipeline like the package-level Exact, reusing the
-// session's precomputed index.
+// session's precomputed index and result cache.
 func (s *Session) Exact(terminals []int, opts ...Option) (*Result, error) {
 	o, err := buildOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	return runWithIndex(s.g, terminals, o, true, s.idx)
+	return runWithIndex(s.g, terminals, o, true, s.idx, s.cache)
 }
 
 // run executes the Algorithm 1 pipeline, building the index on the fly.
 func run(g *Graph, terminals []int, o options, exactOnly bool) (*Result, error) {
-	return runWithIndex(g, terminals, o, exactOnly, nil)
+	return runWithIndex(g, terminals, o, exactOnly, nil, nil)
 }
 
-// runWithIndex is the pipeline body shared by the package-level entry
-// points (idx == nil: build per call) and Session (idx precomputed).
-func runWithIndex(g *Graph, terminals []int, o options, exactOnly bool, idx *preprocess.Index) (*Result, error) {
+// queryPlan is one query after preprocessing: the jobs still to solve, the
+// exactly-factored bridge product, and the partially-filled result. done
+// marks queries fully answered by preprocessing (disconnected terminals).
+type queryPlan struct {
+	out    *Result
+	factor xfloat.F
+	jobs   []pipelineJob
+	done   bool
+	start  time.Time
+}
+
+// planQuery validates terminals and runs preprocessing, producing the
+// decomposed subproblems (with canonical signatures) but not solving them.
+func planQuery(g *Graph, terminals []int, o options, idx *preprocess.Index) (*queryPlan, error) {
 	ts, err := ugraph.NewTerminals(g.internal(), terminals)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	out := &Result{SamplesRequested: o.samples}
-
-	var jobs []pipelineJob
-	factor := xfloatOne()
+	p := &queryPlan{
+		out:    &Result{SamplesRequested: o.samples},
+		factor: xfloatOne(),
+		start:  start,
+	}
 
 	if o.noExtension {
-		jobs = append(jobs, pipelineJob{g: g.internal(), ts: ts})
-	} else {
-		prepStart := time.Now()
-		prep, err := preprocess.Run(g.internal(), ts, idx)
-		if err != nil {
-			return nil, err
-		}
-		out.Preprocess = &PreprocessStats{
-			OriginalEdges:    prep.OriginalEdges,
-			MaxSubgraphEdges: prep.MaxSubgraphEdges,
-			ReducedRatio:     prep.ReducedRatio,
-			Duration:         time.Since(prepStart),
-		}
-		if prep.Disconnected {
-			out.Exact = true
-			out.Log10 = math.Inf(-1)
-			out.Duration = time.Since(start)
-			return out, nil
-		}
-		factor = prep.PB
-		for _, sub := range prep.Subproblems {
-			jobs = append(jobs, pipelineJob{g: sub.G, ts: sub.Terminals})
-		}
+		p.jobs = append(p.jobs, pipelineJob{
+			g:   g.internal(),
+			ts:  ts,
+			sig: preprocess.Sign(g.internal(), ts),
+		})
+		return p, nil
 	}
-	return finishPipeline(out, jobs, factor, o, exactOnly, start)
+
+	prepStart := time.Now()
+	prep, err := preprocess.Run(g.internal(), ts, idx)
+	if err != nil {
+		return nil, err
+	}
+	p.out.Preprocess = &PreprocessStats{
+		OriginalEdges:    prep.OriginalEdges,
+		MaxSubgraphEdges: prep.MaxSubgraphEdges,
+		ReducedRatio:     prep.ReducedRatio,
+		Bridges:          prep.Bridges,
+		Duration:         time.Since(prepStart),
+	}
+	if prep.Disconnected {
+		p.out.Exact = true
+		p.out.Log10 = math.Inf(-1)
+		p.out.Duration = time.Since(start)
+		p.done = true
+		return p, nil
+	}
+	p.factor = prep.PB
+	for _, sub := range prep.Subproblems {
+		p.jobs = append(p.jobs, pipelineJob{g: sub.G, ts: sub.Terminals, sig: sub.Sig})
+	}
+	return p, nil
+}
+
+// runWithIndex is the pipeline body shared by the package-level entry
+// points (idx == nil: build per call, no cache) and Session (idx
+// precomputed, cache attached).
+func runWithIndex(g *Graph, terminals []int, o options, exactOnly bool, idx *preprocess.Index, cache *batch.Cache) (*Result, error) {
+	p, err := planQuery(g, terminals, o, idx)
+	if err != nil {
+		return nil, err
+	}
+	if p.done {
+		return p.out, nil
+	}
+	return finishPipeline(p, o, exactOnly, cache)
 }
