@@ -1,6 +1,7 @@
 package netrel
 
 import (
+	"context"
 	"fmt"
 
 	"netrel/internal/batch"
@@ -33,6 +34,18 @@ type Query struct {
 // query (empty or out-of-range terminals) fails the whole batch with an
 // error naming the offending query.
 func (s *Session) BatchReliability(queries []Query, opts ...Option) ([]*Result, error) {
+	return s.BatchReliabilityContext(context.Background(), queries, opts...)
+}
+
+// BatchReliabilityContext is BatchReliability with cancellation and
+// admission. The whole batch is one admission unit whose cost is
+// samples × queries: an engine cost cap rejects oversized batches (with
+// ErrOverCost) before any planning happens, and a saturated engine queues
+// or rejects the batch exactly like a single query. Cancellation
+// propagates into planning and every subproblem's chunk schedule; a
+// cancelled batch caches nothing, so retrying yields results bit-identical
+// to an uninterrupted run.
+func (s *Session) BatchReliabilityContext(ctx context.Context, queries []Query, opts ...Option) ([]*Result, error) {
 	o, err := buildOptions(opts)
 	if err != nil {
 		return nil, err
@@ -40,12 +53,17 @@ func (s *Session) BatchReliability(queries []Query, opts ...Option) ([]*Result, 
 	if len(queries) == 0 {
 		return nil, nil
 	}
+	release, err := s.eng.admit(ctx, queryCost(o, len(queries)))
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 
 	// Plan every query against the shared index.
 	plans := make([]*queryPlan, len(queries))
 	jobLists := make([][]batch.Job, len(queries))
 	for i, q := range queries {
-		p, err := planQuery(s.g, q.Terminals, o, s.idx)
+		p, err := planQuery(ctx, s.g, q.Terminals, o, s.index())
 		if err != nil {
 			return nil, fmt.Errorf("netrel: batch query %d: %w", i, err)
 		}
@@ -69,7 +87,7 @@ func (s *Session) BatchReliability(queries []Query, opts ...Option) ([]*Result, 
 	for u, j := range plan.Unique {
 		unique[u] = pipelineJob{g: j.G, ts: j.Ts, sig: j.Sig}
 	}
-	solved, err := solveJobs(unique, o, false, s.cache)
+	solved, err := solveJobs(ctx, s.eng.exec(), unique, o, false, s.cache)
 	if err != nil {
 		return nil, err
 	}

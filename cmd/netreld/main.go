@@ -1,29 +1,41 @@
 // Command netreld serves k-terminal reliability queries over HTTP: the
-// first serving-scale entry point of the module. It loads one uncertain
-// graph at startup — from a TSV file or a bundled synthetic dataset —
-// builds a netrel.Session (2ECC index + subproblem result cache) once, and
-// answers single and batch queries concurrently over it. Batch requests
-// ride Session.BatchReliability, so subproblems shared across a request's
-// queries (and across requests, via the session cache) are solved once.
+// serving-scale entry point of the module. It hosts a netrel.Registry of
+// named graphs — one loaded at startup (from a TSV file or a bundled
+// synthetic dataset, registered as "default"), more registered at runtime
+// over the API — and answers single and batch queries against any of them.
+// All graphs share one execution engine: a bounded worker pool sized to
+// the machine plus an admission queue, so N concurrent requests never
+// oversubscribe the host (goroutines stay bounded by pool + in-flight
+// requests, not requests × workers), saturation queues up to -queue
+// requests and 503s the rest, and a per-request cost cap rejects oversized
+// work before any planning.
 //
 // Usage:
 //
 //	netreld -dataset Tokyo -scale small -addr :8080
-//	netreld -graph g.tsv -cache 8192
+//	netreld -graph g.tsv -cache 8192 -inflight 8 -queue 64
 //
 // Endpoints:
 //
-//	GET  /healthz         liveness probe
-//	GET  /v1/stats        graph shape, uptime, query counters, cache stats
-//	POST /v1/reliability  {"terminals":[0,5],"samples":10000,"seed":1}
-//	POST /v1/batch        {"queries":[{"terminals":[0,5]},...],"samples":1000}
+//	GET    /healthz            liveness probe
+//	GET    /v1/stats           engine gauges + per-graph counters and caches
+//	GET    /v1/graphs          list registered graphs
+//	POST   /v1/graphs          register {"name":"g2","tsv":"..."} or
+//	                           {"name":"g2","dataset":"Karate","scale":"small"}
+//	DELETE /v1/graphs/{name}   evict a graph
+//	POST   /v1/reliability     {"graph":"g2","terminals":[0,5],"samples":10000}
+//	POST   /v1/batch           {"queries":[{"terminals":[0,5]},...],"samples":1000}
 //
-// Every response is JSON. Per-request options (samples, width, seed,
-// workers, estimator, exact) default to the daemon's flags; results are
-// deterministic per seed regardless of concurrency or worker count.
+// The "graph" field defaults to "default". Every response is JSON; results
+// are deterministic per seed regardless of concurrency, pool size, or
+// worker count. Request contexts propagate into the solver, so a client
+// that disconnects cancels its computation at the next chunk boundary. On
+// SIGINT/SIGTERM the daemon drains: queued requests get 503s immediately,
+// in-flight queries finish (up to -drain), then the listener closes.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -32,8 +44,11 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"netrel"
@@ -47,13 +62,20 @@ func main() {
 		dataset    = flag.String("dataset", "Karate", "bundled dataset abbreviation (see datasets.Catalog)")
 		scale      = flag.String("scale", "small", "dataset scale: small|medium|full")
 		dataSeed   = flag.Uint64("dataseed", 42, "dataset generator seed")
-		cacheCap   = flag.Int("cache", netrel.DefaultCacheCapacity, "session result-cache capacity (0 disables)")
+		cacheCap   = flag.Int("cache", netrel.DefaultCacheCapacity, "per-graph result-cache capacity (0 disables)")
 		samples    = flag.Int("samples", 10_000, "default sample budget s")
 		width      = flag.Int("width", 10_000, "default maximum S2BDD width w")
-		workers    = flag.Int("workers", 0, "default worker goroutines (0 = GOMAXPROCS)")
+		workers    = flag.Int("workers", 0, "default per-request worker budget (0 = GOMAXPROCS)")
 		maxSamples = flag.Int("maxsamples", 1_000_000, "per-request sample budget cap (0 = no cap)")
 		maxWidth   = flag.Int("maxwidth", 1_000_000, "per-request S2BDD width cap (0 = no cap)")
 		maxQueries = flag.Int("maxqueries", 4096, "per-batch query count cap (0 = no cap)")
+		pool       = flag.Int("pool", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+		inFlight   = flag.Int("inflight", 8, "max concurrently solving requests (0 = unlimited)")
+		queue      = flag.Int("queue", 64, "admission queue depth beyond -inflight")
+		maxCost    = flag.Int64("maxcost", 100_000_000, "per-request cost cap, samples×queries (0 = no cap)")
+		maxBody    = flag.Int64("maxbody", 8<<20, "request body size cap in bytes")
+		maxGraphs  = flag.Int("maxgraphs", 64, "max registered graphs (0 = no cap)")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 	)
 	flag.Parse()
 
@@ -62,15 +84,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "netreld:", err)
 		os.Exit(1)
 	}
-	srv := newServer(g, source, defaults{
+	eng := netrel.NewEngine(netrel.EngineConfig{
+		Workers:     *pool,
+		MaxInFlight: *inFlight,
+		QueueDepth:  *queue,
+		MaxCost:     *maxCost,
+	})
+	srv, err := newServer(eng, defaults{
 		samples:    *samples,
 		width:      *width,
 		workers:    *workers,
 		maxSamples: *maxSamples,
 		maxWidth:   *maxWidth,
 		maxQueries: *maxQueries,
-	}, *cacheCap)
-	log.Printf("netreld: serving %s (n=%d, m=%d) on %s", source, g.N(), g.M(), *addr)
+		maxBody:    *maxBody,
+		maxGraphs:  *maxGraphs,
+		cacheCap:   *cacheCap,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netreld:", err)
+		os.Exit(1)
+	}
+	if err := srv.register(defaultGraphName, source, g); err != nil {
+		fmt.Fprintln(os.Stderr, "netreld:", err)
+		os.Exit(1)
+	}
+	log.Printf("netreld: serving %s (n=%d, m=%d) on %s (pool=%d inflight=%d queue=%d)",
+		source, g.N(), g.M(), *addr, eng.Stats().Workers, *inFlight, *queue)
 	hs := &http.Server{
 		Addr:    *addr,
 		Handler: srv.handler(),
@@ -80,8 +120,33 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Fatal(hs.ListenAndServe())
+
+	// Graceful shutdown: on SIGINT/SIGTERM, stop admitting (queued
+	// requests 503 immediately via the engine drain), let in-flight
+	// queries finish within the drain timeout, then close the listener.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("netreld: signal received, draining (timeout %s)", *drain)
+	srv.drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		log.Printf("netreld: drain timeout exceeded: %v", err)
+	}
+	eng.Close()
+	log.Printf("netreld: bye")
 }
+
+// defaultGraphName is the registry key of the graph loaded at startup and
+// the fallback for requests that don't name one.
+const defaultGraphName = "default"
 
 func loadGraph(path, dataset, scale string, seed uint64) (*netrel.Graph, string, error) {
 	if path != "" {
@@ -116,43 +181,97 @@ type defaults struct {
 	maxSamples int
 	maxWidth   int
 	maxQueries int
+	maxBody    int64
+	maxGraphs  int
+	cacheCap   int
 }
 
-// server owns the long-lived session and its counters.
-type server struct {
-	sess     *netrel.Session
-	source   string
-	def      defaults
-	started  time.Time
+// graphCounters tracks per-graph request outcomes.
+type graphCounters struct {
 	queries  atomic.Uint64 // single queries answered
 	batches  atomic.Uint64 // batch requests answered
 	batchQs  atomic.Uint64 // queries answered inside batches
 	failures atomic.Uint64
 }
 
-func newServer(g *netrel.Graph, source string, def defaults, cacheCap int) *server {
-	s := &server{
-		sess:    netrel.NewSession(g),
-		source:  source,
-		def:     def,
-		started: time.Now(),
+// server owns the registry, the engine, and the per-graph counters.
+type server struct {
+	reg      *netrel.Registry
+	eng      *netrel.Engine
+	def      defaults
+	started  time.Time
+	draining atomic.Bool
+
+	mu       sync.RWMutex
+	counters map[string]*graphCounters
+}
+
+func newServer(eng *netrel.Engine, def defaults) (*server, error) {
+	if def.maxBody <= 0 {
+		return nil, errors.New("maxbody must be positive")
 	}
-	s.sess.SetCacheCapacity(cacheCap)
-	return s
+	reg := netrel.NewRegistry(eng)
+	reg.SetCacheCapacity(def.cacheCap)
+	return &server{
+		reg:      reg,
+		eng:      eng,
+		def:      def,
+		started:  time.Now(),
+		counters: make(map[string]*graphCounters),
+	}, nil
+}
+
+// errGraphLimit reports a registration refused because -maxgraphs tenants
+// already exist (a capacity condition, not a name conflict).
+var errGraphLimit = errors.New("graph limit reached")
+
+// register adds a graph to the registry with its counters. The whole
+// check-and-register sequence holds s.mu so two concurrent registrations
+// cannot both squeeze past the -maxgraphs limit; the per-graph cache
+// capacity is applied by the registry before the session becomes visible.
+func (s *server) register(name, source string, g *netrel.Graph) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.def.maxGraphs > 0 && s.reg.Len() >= s.def.maxGraphs {
+		return fmt.Errorf("%w: %d graphs registered", errGraphLimit, s.def.maxGraphs)
+	}
+	if err := s.reg.Register(name, source, g); err != nil {
+		return err
+	}
+	s.counters[name] = &graphCounters{}
+	return nil
+}
+
+func (s *server) countersFor(name string) *graphCounters {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.counters[name] // nil for just-evicted graphs: callers tolerate
+}
+
+// drain flips the server into shutdown mode: new requests 503 and the
+// engine fails its admission queue.
+func (s *server) drain() {
+	s.draining.Store(true)
+	s.eng.Drain()
 }
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/v1/stats", s.handleStats)
-	mux.HandleFunc("/v1/reliability", s.handleReliability)
-	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
+	mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleEvictGraph)
+	mux.HandleFunc("POST /v1/reliability", s.handleReliability)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	return mux
 }
 
 // queryRequest is the JSON body of a single reliability query; zero-valued
-// option fields fall back to the daemon defaults.
+// option fields fall back to the daemon defaults, a missing graph to
+// "default".
 type queryRequest struct {
+	Graph     string `json:"graph,omitempty"`
 	Terminals []int  `json:"terminals"`
 	Samples   int    `json:"samples,omitempty"`
 	Width     int    `json:"width,omitempty"`
@@ -163,6 +282,7 @@ type queryRequest struct {
 }
 
 type batchRequest struct {
+	Graph   string `json:"graph,omitempty"`
 	Queries []struct {
 		Terminals []int `json:"terminals"`
 	} `json:"queries"`
@@ -171,6 +291,16 @@ type batchRequest struct {
 	Seed      uint64 `json:"seed,omitempty"`
 	Workers   int    `json:"workers,omitempty"`
 	Estimator string `json:"estimator,omitempty"`
+}
+
+// registerRequest registers a new graph: either inline TSV content or a
+// bundled dataset spec.
+type registerRequest struct {
+	Name    string `json:"name"`
+	TSV     string `json:"tsv,omitempty"`
+	Dataset string `json:"dataset,omitempty"`
+	Scale   string `json:"scale,omitempty"`
+	Seed    uint64 `json:"seed,omitempty"`
 }
 
 // queryResponse serializes a netrel.Result.
@@ -194,6 +324,32 @@ type cacheResponse struct {
 	Capacity int    `json:"capacity"`
 }
 
+type graphStatsResponse struct {
+	Source         string        `json:"source"`
+	Vertices       int           `json:"vertices"`
+	Edges          int           `json:"edges"`
+	IndexBuilt     bool          `json:"index_built"`
+	Queries        uint64        `json:"queries"`
+	BatchRequests  uint64        `json:"batch_requests"`
+	BatchedQueries uint64        `json:"batched_queries"`
+	Failures       uint64        `json:"failures"`
+	Cache          cacheResponse `json:"cache"`
+}
+
+type engineStatsResponse struct {
+	Workers           int    `json:"workers"`
+	PoolAssists       uint64 `json:"pool_assists"`
+	InFlight          int    `json:"in_flight"`
+	QueueDepth        int    `json:"queue_depth"`
+	MaxInFlight       int    `json:"max_in_flight"`
+	QueueCapacity     int    `json:"queue_capacity"`
+	Admitted          uint64 `json:"admitted"`
+	RejectedQueueFull uint64 `json:"rejected_queue_full"`
+	RejectedOverCost  uint64 `json:"rejected_over_cost"`
+	RejectedDraining  uint64 `json:"rejected_draining"`
+	CanceledWaiting   uint64 `json:"canceled_waiting"`
+}
+
 func toResponse(r *netrel.Result) queryResponse {
 	out := queryResponse{
 		Reliability: r.Reliability,
@@ -215,9 +371,34 @@ func toResponse(r *netrel.Result) queryResponse {
 	return out
 }
 
-func (s *server) cacheResponse() cacheResponse {
-	st := s.sess.CacheStats()
+func toCacheResponse(st netrel.CacheStats) cacheResponse {
 	return cacheResponse{Hits: st.Hits, Misses: st.Misses, Entries: st.Entries, Capacity: st.Capacity}
+}
+
+func (s *server) engineResponse() engineStatsResponse {
+	st := s.eng.Stats()
+	return engineStatsResponse{
+		Workers:           st.Workers,
+		PoolAssists:       st.Assists,
+		InFlight:          st.InFlight,
+		QueueDepth:        st.Queued,
+		MaxInFlight:       st.MaxInFlight,
+		QueueCapacity:     st.QueueCapacity,
+		Admitted:          st.Admitted,
+		RejectedQueueFull: st.RejectedQueueFull,
+		RejectedOverCost:  st.RejectedOverCost,
+		RejectedDraining:  st.RejectedDraining,
+		CanceledWaiting:   st.CanceledWaiting,
+	}
+}
+
+// session resolves the graph name of a request ("" = default).
+func (s *server) session(name string) (string, *netrel.Session, error) {
+	if name == "" {
+		name = defaultGraphName
+	}
+	sess, err := s.reg.Session(name)
+	return name, sess, err
 }
 
 func (s *server) options(samples, width int, seed uint64, workers int, estimator string) ([]netrel.Option, error) {
@@ -259,24 +440,144 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	graphs := make(map[string]graphStatsResponse)
+	var totalQueries, totalBatches, totalBatchQs, totalFailures uint64
+	for _, info := range s.reg.List() {
+		sess, err := s.reg.Session(info.Name)
+		if err != nil {
+			continue // evicted between List and Session
+		}
+		g := graphStatsResponse{
+			Source:     info.Source,
+			Vertices:   info.Vertices,
+			Edges:      info.Edges,
+			IndexBuilt: info.IndexBuilt,
+			Cache:      toCacheResponse(sess.CacheStats()),
+		}
+		if c := s.countersFor(info.Name); c != nil {
+			g.Queries = c.queries.Load()
+			g.BatchRequests = c.batches.Load()
+			g.BatchedQueries = c.batchQs.Load()
+			g.Failures = c.failures.Load()
+		}
+		totalQueries += g.Queries
+		totalBatches += g.BatchRequests
+		totalBatchQs += g.BatchedQueries
+		totalFailures += g.Failures
+		graphs[info.Name] = g
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"graph": map[string]any{
-			"source":   s.source,
-			"vertices": s.sess.Graph().N(),
-			"edges":    s.sess.Graph().M(),
-		},
 		"uptime_ms":       float64(time.Since(s.started)) / float64(time.Millisecond),
-		"queries":         s.queries.Load(),
-		"batch_requests":  s.batches.Load(),
-		"batched_queries": s.batchQs.Load(),
-		"failures":        s.failures.Load(),
-		"cache":           s.cacheResponse(),
+		"engine":          s.engineResponse(),
+		"graphs":          graphs,
+		"queries":         totalQueries,
+		"batch_requests":  totalBatches,
+		"batched_queries": totalBatchQs,
+		"failures":        totalFailures,
 	})
 }
 
+func (s *server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	type graphInfo struct {
+		Name       string `json:"name"`
+		Source     string `json:"source"`
+		Vertices   int    `json:"vertices"`
+		Edges      int    `json:"edges"`
+		IndexBuilt bool   `json:"index_built"`
+	}
+	infos := s.reg.List()
+	out := make([]graphInfo, len(infos))
+	for i, info := range infos {
+		out[i] = graphInfo{
+			Name: info.Name, Source: info.Source,
+			Vertices: info.Vertices, Edges: info.Edges, IndexBuilt: info.IndexBuilt,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": out})
+}
+
+func (s *server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
+	var req registerRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, errors.New("graph name is required"))
+		return
+	}
+	var (
+		g      *netrel.Graph
+		source string
+		err    error
+	)
+	switch {
+	case req.TSV != "" && req.Dataset != "":
+		writeError(w, http.StatusBadRequest, errors.New(`give either "tsv" or "dataset", not both`))
+		return
+	case req.TSV != "":
+		g, err = netrel.ReadGraph(strings.NewReader(req.TSV))
+		source = "tsv-upload"
+	case req.Dataset != "":
+		scale := req.Scale
+		if scale == "" {
+			scale = "small"
+		}
+		g, source, err = loadGraph("", req.Dataset, scale, req.Seed)
+	default:
+		writeError(w, http.StatusBadRequest, errors.New(`give "tsv" content or a "dataset" name`))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.register(req.Name, source, g); err != nil {
+		switch {
+		case errors.Is(err, errGraphLimit):
+			writeError(w, http.StatusTooManyRequests, err)
+		case strings.Contains(err.Error(), "already registered"):
+			writeError(w, http.StatusConflict, err)
+		default: // invalid name and other client mistakes
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"name": req.Name, "source": source,
+		"vertices": g.N(), "edges": g.M(),
+	})
+}
+
+func (s *server) handleEvictGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if name == defaultGraphName {
+		writeError(w, http.StatusBadRequest, errors.New("the default graph cannot be evicted"))
+		return
+	}
+	if !s.reg.Evict(name) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("graph %q not registered", name))
+		return
+	}
+	s.mu.Lock()
+	delete(s.counters, name)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"evicted": name})
+}
+
 func (s *server) handleReliability(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
 	var req queryRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	name, sess, err := s.session(req.Graph)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
 		return
 	}
 	opts, err := s.options(req.Samples, req.Width, req.Seed, req.Workers, req.Estimator)
@@ -284,27 +585,36 @@ func (s *server) handleReliability(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	c := s.countersFor(name)
 	var res *netrel.Result
 	if req.Exact {
-		res, err = s.sess.Exact(req.Terminals, opts...)
+		res, err = sess.ExactContext(r.Context(), req.Terminals, opts...)
 	} else {
-		res, err = s.sess.Reliability(req.Terminals, opts...)
+		res, err = sess.ReliabilityContext(r.Context(), req.Terminals, opts...)
 	}
 	if err != nil {
-		s.failures.Add(1)
+		if c != nil {
+			c.failures.Add(1)
+		}
 		writeError(w, statusFor(err), err)
 		return
 	}
-	s.queries.Add(1)
+	if c != nil {
+		c.queries.Add(1)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
+		"graph":  name,
 		"result": toResponse(res),
-		"cache":  s.cacheResponse(),
+		"cache":  toCacheResponse(sess.CacheStats()),
 	})
 }
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
 	var req batchRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Queries) == 0 {
@@ -316,6 +626,11 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("batch of %d queries exceeds the daemon cap %d", len(req.Queries), s.def.maxQueries))
 		return
 	}
+	name, sess, err := s.session(req.Graph)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
 	opts, err := s.options(req.Samples, req.Width, req.Seed, req.Workers, req.Estimator)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -325,40 +640,61 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, q := range req.Queries {
 		queries[i] = netrel.Query{Terminals: q.Terminals}
 	}
-	before := s.sess.CacheStats()
+	c := s.countersFor(name)
+	before := sess.CacheStats()
 	start := time.Now()
-	results, err := s.sess.BatchReliability(queries, opts...)
+	// Admission happens inside BatchReliabilityContext before any planning:
+	// an over-cost batch (samples × queries > -maxcost) is rejected with an
+	// error naming the limit without touching the graph.
+	results, err := sess.BatchReliabilityContext(r.Context(), queries, opts...)
 	if err != nil {
-		s.failures.Add(1)
+		if c != nil {
+			c.failures.Add(1)
+		}
 		writeError(w, statusFor(err), err)
 		return
 	}
-	after := s.sess.CacheStats()
-	s.batches.Add(1)
-	s.batchQs.Add(uint64(len(results)))
+	after := sess.CacheStats()
+	if c != nil {
+		c.batches.Add(1)
+		c.batchQs.Add(uint64(len(results)))
+	}
 	out := make([]queryResponse, len(results))
 	for i, r := range results {
 		out[i] = toResponse(r)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
+		"graph":       name,
 		"results":     out,
 		"duration_ms": float64(time.Since(start)) / float64(time.Millisecond),
 		// Hit/miss deltas overlap under concurrent requests, but they still
 		// show cache effectiveness per batch on a lightly loaded daemon.
 		"cache_hits":   after.Hits - before.Hits,
 		"cache_misses": after.Misses - before.Misses,
-		"cache":        s.cacheResponse(),
+		"cache":        toCacheResponse(after),
 	})
 }
 
-func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+// rejectDraining 503s mutating requests once shutdown has begun.
+func (s *server) rejectDraining(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
 		return false
 	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20))
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+	return true
+}
+
+func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.def.maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds the %d-byte limit", tooLarge.Limit))
+			return false
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return false
 	}
@@ -366,11 +702,20 @@ func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
 }
 
 // statusFor maps computation errors to HTTP statuses: anything the caller
-// can fix (bad terminals, bad options, an exact request over too small a
-// width) is a 400; genuine solver failures are 500s.
+// can fix (bad terminals, bad options, an over-cost request, an exact
+// request over too small a width) is a 400; saturation and shutdown are
+// 503s (retryable); client disconnects surface as 499-style 503s; genuine
+// solver failures are 500s.
 func statusFor(err error) int {
-	if errors.Is(err, netrel.ErrTerminalsRequired) || errors.Is(err, netrel.ErrNotExact) {
+	switch {
+	case errors.Is(err, netrel.ErrTerminalsRequired), errors.Is(err, netrel.ErrNotExact):
 		return http.StatusBadRequest
+	case errors.Is(err, netrel.ErrOverCost):
+		return http.StatusBadRequest
+	case errors.Is(err, netrel.ErrQueueFull), errors.Is(err, netrel.ErrEngineDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
 	}
 	msg := err.Error()
 	for _, needle := range []string{"terminal", "netrel:", "ugraph:"} {

@@ -8,6 +8,8 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 
 	"netrel"
@@ -25,12 +27,31 @@ func quickstartGraph(t *testing.T) *netrel.Graph {
 	return g
 }
 
-func testServer(t *testing.T) (*server, *httptest.Server) {
+func testDefaults() defaults {
+	return defaults{samples: 1000, width: 1000, maxBody: 1 << 20, cacheCap: 128}
+}
+
+func newTestServer(t *testing.T, eng *netrel.Engine, def defaults) (*server, *httptest.Server) {
 	t.Helper()
-	srv := newServer(quickstartGraph(t), "test", defaults{samples: 1000, width: 1000}, 128)
+	if eng == nil {
+		eng = netrel.NewEngine(netrel.EngineConfig{})
+		t.Cleanup(eng.Close)
+	}
+	srv, err := newServer(eng, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.register(defaultGraphName, "test", quickstartGraph(t)); err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)
 	return srv, ts
+}
+
+func testServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	return newTestServer(t, nil, testDefaults())
 }
 
 func postJSON(t *testing.T, url string, body string, out any) int {
@@ -48,6 +69,15 @@ func postJSON(t *testing.T, url string, body string, out any) int {
 	return resp.StatusCode
 }
 
+func defaultSession(t *testing.T, srv *server) *netrel.Session {
+	t.Helper()
+	sess, err := srv.reg.Session(defaultGraphName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
 func TestHealthz(t *testing.T) {
 	_, ts := testServer(t)
 	resp, err := http.Get(ts.URL + "/healthz")
@@ -63,6 +93,7 @@ func TestHealthz(t *testing.T) {
 func TestSingleReliabilityMatchesLibrary(t *testing.T) {
 	srv, ts := testServer(t)
 	var got struct {
+		Graph  string        `json:"graph"`
 		Result queryResponse `json:"result"`
 	}
 	code := postJSON(t, ts.URL+"/v1/reliability",
@@ -70,7 +101,10 @@ func TestSingleReliabilityMatchesLibrary(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("status %d", code)
 	}
-	want, err := netrel.NewSession(srv.sess.Graph()).Reliability([]int{0, 2},
+	if got.Graph != defaultGraphName {
+		t.Fatalf("answered from graph %q", got.Graph)
+	}
+	want, err := netrel.NewSession(defaultSession(t, srv).Graph()).Reliability([]int{0, 2},
 		netrel.WithSamples(5000), netrel.WithSeed(7), netrel.WithMaxWidth(1000))
 	if err != nil {
 		t.Fatal(err)
@@ -117,7 +151,7 @@ func TestBatchEndpoint(t *testing.T) {
 	if got.Results[0].Reliability != got.Results[2].Reliability {
 		t.Fatal("identical queries diverged in one batch")
 	}
-	want, err := netrel.NewSession(srv.sess.Graph()).Reliability([]int{0, 2},
+	want, err := netrel.NewSession(defaultSession(t, srv).Graph()).Reliability([]int{0, 2},
 		netrel.WithSamples(2000), netrel.WithSeed(3), netrel.WithMaxWidth(1000))
 	if err != nil {
 		t.Fatal(err)
@@ -156,26 +190,174 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	defer resp.Body.Close()
 	var stats struct {
-		Graph struct {
-			Vertices int `json:"vertices"`
-			Edges    int `json:"edges"`
-		} `json:"graph"`
-		Queries        uint64        `json:"queries"`
-		BatchRequests  uint64        `json:"batch_requests"`
-		BatchedQueries uint64        `json:"batched_queries"`
-		Cache          cacheResponse `json:"cache"`
+		Engine         engineStatsResponse           `json:"engine"`
+		Graphs         map[string]graphStatsResponse `json:"graphs"`
+		Queries        uint64                        `json:"queries"`
+		BatchRequests  uint64                        `json:"batch_requests"`
+		BatchedQueries uint64                        `json:"batched_queries"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
 	}
-	if stats.Graph.Vertices != 4 || stats.Graph.Edges != 4 {
-		t.Fatalf("graph shape %d/%d", stats.Graph.Vertices, stats.Graph.Edges)
+	def, ok := stats.Graphs[defaultGraphName]
+	if !ok {
+		t.Fatalf("stats missing the default graph: %v", stats.Graphs)
+	}
+	if def.Vertices != 4 || def.Edges != 4 {
+		t.Fatalf("graph shape %d/%d", def.Vertices, def.Edges)
+	}
+	if !def.IndexBuilt {
+		t.Fatal("index should be built after the first query")
 	}
 	if stats.Queries != 1 || stats.BatchRequests != 1 || stats.BatchedQueries != 1 {
 		t.Fatalf("counters %d/%d/%d", stats.Queries, stats.BatchRequests, stats.BatchedQueries)
 	}
-	if stats.Cache.Capacity != 128 {
-		t.Fatalf("cache capacity %d", stats.Cache.Capacity)
+	if def.Cache.Capacity != 128 {
+		t.Fatalf("cache capacity %d", def.Cache.Capacity)
+	}
+	if stats.Engine.Workers <= 0 {
+		t.Fatalf("engine workers %d", stats.Engine.Workers)
+	}
+	if stats.Engine.Admitted < 2 {
+		t.Fatalf("engine admitted %d, want ≥ 2", stats.Engine.Admitted)
+	}
+}
+
+func TestMultiGraphServing(t *testing.T) {
+	_, ts := testServer(t)
+
+	// Register a second graph from a bundled dataset.
+	var reg struct {
+		Name     string `json:"name"`
+		Vertices int    `json:"vertices"`
+	}
+	code := postJSON(t, ts.URL+"/v1/graphs",
+		`{"name":"karate","dataset":"Karate","scale":"small","seed":1}`, &reg)
+	if code != http.StatusCreated {
+		t.Fatalf("register status %d", code)
+	}
+	if reg.Vertices != 34 {
+		t.Fatalf("registered %d vertices", reg.Vertices)
+	}
+	// Duplicate names conflict.
+	if code := postJSON(t, ts.URL+"/v1/graphs",
+		`{"name":"karate","dataset":"Karate"}`, nil); code != http.StatusConflict {
+		t.Fatalf("duplicate register status %d", code)
+	}
+
+	// Register a third from inline TSV content.
+	g := quickstartGraph(t)
+	var tsv strings.Builder
+	if err := g.Write(&tsv); err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(map[string]string{"name": "uploaded", "tsv": tsv.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := postJSON(t, ts.URL+"/v1/graphs", string(body), nil); code != http.StatusCreated {
+		t.Fatalf("tsv register status %d", code)
+	}
+
+	// List shows all three, lazily indexed.
+	var list struct {
+		Graphs []struct {
+			Name       string `json:"name"`
+			IndexBuilt bool   `json:"index_built"`
+		} `json:"graphs"`
+	}
+	resp, err := http.Get(ts.URL + "/v1/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Graphs) != 3 {
+		t.Fatalf("%d graphs listed, want 3", len(list.Graphs))
+	}
+	for _, g := range list.Graphs {
+		if g.Name == "karate" && g.IndexBuilt {
+			t.Fatal("karate index built before any query")
+		}
+	}
+
+	// Query each graph explicitly; same terminals, different graphs,
+	// different answers.
+	var a, b struct {
+		Graph  string        `json:"graph"`
+		Result queryResponse `json:"result"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/reliability",
+		`{"graph":"karate","terminals":[0,33],"samples":2000,"seed":5}`, &a); code != http.StatusOK {
+		t.Fatalf("karate query status %d", code)
+	}
+	if a.Graph != "karate" {
+		t.Fatalf("answered from %q", a.Graph)
+	}
+	if code := postJSON(t, ts.URL+"/v1/reliability",
+		`{"graph":"uploaded","terminals":[0,2],"samples":2000,"seed":5}`, &b); code != http.StatusOK {
+		t.Fatalf("uploaded query status %d", code)
+	}
+	// Batch against a named graph works too.
+	if code := postJSON(t, ts.URL+"/v1/batch",
+		`{"graph":"karate","queries":[{"terminals":[0,33]},{"terminals":[5,30]}],"samples":1000}`, nil); code != http.StatusOK {
+		t.Fatalf("karate batch status %d", code)
+	}
+
+	// Unknown graph → 404.
+	if code := postJSON(t, ts.URL+"/v1/reliability",
+		`{"graph":"nope","terminals":[0,1]}`, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown graph status %d", code)
+	}
+
+	// Evict and verify it is gone; the default graph is protected.
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/graphs/karate", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evict status %d", resp.StatusCode)
+	}
+	if code := postJSON(t, ts.URL+"/v1/reliability",
+		`{"graph":"karate","terminals":[0,33]}`, nil); code != http.StatusNotFound {
+		t.Fatalf("evicted graph still served: status %d", code)
+	}
+	req, err = http.NewRequest(http.MethodDelete, ts.URL+"/v1/graphs/"+defaultGraphName, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("default graph evicted: status %d", resp.StatusCode)
+	}
+}
+
+func TestGraphLimit(t *testing.T) {
+	def := testDefaults()
+	def.maxGraphs = 2 // the default graph + one more
+	_, ts := newTestServer(t, nil, def)
+	if code := postJSON(t, ts.URL+"/v1/graphs",
+		`{"name":"second","dataset":"Karate"}`, nil); code != http.StatusCreated {
+		t.Fatalf("register within limit: status %d", code)
+	}
+	var got map[string]string
+	if code := postJSON(t, ts.URL+"/v1/graphs",
+		`{"name":"third","dataset":"Karate"}`, &got); code != http.StatusTooManyRequests {
+		t.Fatalf("register beyond limit: status %d, want 429", code)
+	}
+	if !strings.Contains(got["error"], "graph limit") {
+		t.Fatalf("error %q does not name the limit", got["error"])
 	}
 }
 
@@ -192,6 +374,12 @@ func TestRequestValidation(t *testing.T) {
 		{"/v1/reliability", `{"terminals":[0,1],"estimator":"nope"}`, http.StatusBadRequest},
 		{"/v1/batch", `{"queries":[]}`, http.StatusBadRequest},
 		{"/v1/batch", `{"queries":[{"terminals":[0]},{"terminals":[44]}]}`, http.StatusBadRequest},
+		{"/v1/graphs", `{"tsv":"1\n"}`, http.StatusBadRequest},
+		{"/v1/graphs", `{"name":"x"}`, http.StatusBadRequest},
+		{"/v1/graphs", `{"name":"x","tsv":"bogus","dataset":"Karate"}`, http.StatusBadRequest},
+		// Unroutable names (could never be evicted via the URL path).
+		{"/v1/graphs", `{"name":"a/b","dataset":"Karate"}`, http.StatusBadRequest},
+		{"/v1/graphs", `{"name":"a b","dataset":"Karate"}`, http.StatusBadRequest},
 	}
 	for _, c := range cases {
 		var got map[string]any
@@ -213,12 +401,11 @@ func TestRequestValidation(t *testing.T) {
 }
 
 func TestRequestCostCaps(t *testing.T) {
-	srv := newServer(quickstartGraph(t), "test", defaults{
-		samples: 1000, width: 1000,
-		maxSamples: 5000, maxWidth: 2000, maxQueries: 2,
-	}, 16)
-	ts := httptest.NewServer(srv.handler())
-	t.Cleanup(ts.Close)
+	def := testDefaults()
+	def.maxSamples = 5000
+	def.maxWidth = 2000
+	def.maxQueries = 2
+	_, ts := newTestServer(t, nil, def)
 
 	cases := []struct {
 		url, body string
@@ -234,6 +421,68 @@ func TestRequestCostCaps(t *testing.T) {
 		if code := postJSON(t, ts.URL+c.url, c.body, nil); code != c.want {
 			t.Errorf("POST %s %q: status %d, want %d", c.url, c.body, code, c.want)
 		}
+	}
+}
+
+// TestEngineCostCapRejectsBeforePlanning covers the engine-level cost cap:
+// a batch whose samples×queries exceeds -maxcost is rejected with a JSON
+// error naming the limit, before any planning happens.
+func TestEngineCostCapRejectsBeforePlanning(t *testing.T) {
+	eng := netrel.NewEngine(netrel.EngineConfig{MaxCost: 5000})
+	t.Cleanup(eng.Close)
+	_, ts := newTestServer(t, eng, testDefaults())
+
+	// 3 queries × 2000 samples = 6000 > 5000.
+	var got map[string]string
+	code := postJSON(t, ts.URL+"/v1/batch",
+		`{"queries":[{"terminals":[0,2]},{"terminals":[1,3]},{"terminals":[0,3]}],"samples":2000}`, &got)
+	if code != http.StatusBadRequest {
+		t.Fatalf("over-cost batch status %d, want 400", code)
+	}
+	if !strings.Contains(got["error"], "5000") {
+		t.Fatalf("error %q does not name the cost limit", got["error"])
+	}
+	// Under the cap it solves.
+	if code := postJSON(t, ts.URL+"/v1/batch",
+		`{"queries":[{"terminals":[0,2]}],"samples":2000}`, nil); code != http.StatusOK {
+		t.Fatalf("under-cost batch status %d", code)
+	}
+}
+
+func TestBodySizeCap(t *testing.T) {
+	def := testDefaults()
+	def.maxBody = 256
+	_, ts := newTestServer(t, nil, def)
+
+	big := fmt.Sprintf(`{"terminals":[0,2],"samples":1000%s}`, strings.Repeat(" ", 300))
+	var got map[string]string
+	code := postJSON(t, ts.URL+"/v1/reliability", big, &got)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body status %d, want 413", code)
+	}
+	if !strings.Contains(got["error"], "256-byte limit") {
+		t.Fatalf("error %q does not name the body limit", got["error"])
+	}
+}
+
+func TestDrainingRejectsNewRequests(t *testing.T) {
+	srv, ts := testServer(t)
+	srv.drain()
+	var got map[string]string
+	if code := postJSON(t, ts.URL+"/v1/reliability", `{"terminals":[0,2]}`, &got); code != http.StatusServiceUnavailable {
+		t.Fatalf("draining status %d, want 503", code)
+	}
+	if got["error"] == "" {
+		t.Fatal("missing drain error body")
+	}
+	// Read-only endpoints keep working during the drain.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats during drain: %d", resp.StatusCode)
 	}
 }
 
@@ -255,7 +504,13 @@ func TestExactTooNarrowIsClientError(t *testing.T) {
 			}
 		}
 	}
-	srv := newServer(g, "grid", defaults{samples: 100, width: 1000}, 16)
+	srv, err := newServer(netrel.DefaultEngine(), testDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.register(defaultGraphName, "grid", g); err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)
 	code := postJSON(t, ts.URL+"/v1/reliability", `{"terminals":[0,24],"exact":true,"width":2}`, nil)
@@ -303,26 +558,44 @@ func TestLoadGraphFromFileAndDataset(t *testing.T) {
 	}
 }
 
+// TestConcurrentRequests hammers a bounded engine (2 in flight, deep
+// queue) from 16 clients; every request must either succeed or be an
+// honest 503, and the engine must report its admissions.
 func TestConcurrentRequests(t *testing.T) {
-	_, ts := testServer(t)
-	done := make(chan error, 16)
+	eng := netrel.NewEngine(netrel.EngineConfig{Workers: 2, MaxInFlight: 2, QueueDepth: 32})
+	t.Cleanup(eng.Close)
+	srv, ts := newTestServer(t, eng, testDefaults())
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
 	for i := 0; i < 16; i++ {
+		wg.Add(1)
 		go func(i int) {
+			defer wg.Done()
 			body := fmt.Sprintf(`{"terminals":[0,%d],"samples":500,"seed":9}`, 1+i%3)
 			resp, err := http.Post(ts.URL+"/v1/reliability", "application/json",
 				bytes.NewReader([]byte(body)))
 			if err == nil {
 				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
 					err = fmt.Errorf("status %d", resp.StatusCode)
 				}
 			}
-			done <- err
+			errs <- err
 		}(i)
 	}
-	for i := 0; i < 16; i++ {
-		if err := <-done; err != nil {
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
 			t.Fatal(err)
 		}
+	}
+	st := srv.eng.Stats()
+	if st.Admitted == 0 {
+		t.Fatal("no admissions recorded")
+	}
+	if st.InFlight != 0 || st.Queued != 0 {
+		t.Fatalf("engine not drained: in_flight=%d queued=%d", st.InFlight, st.Queued)
 	}
 }

@@ -1,0 +1,166 @@
+package netrel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"netrel/internal/engine"
+	"netrel/internal/sampling"
+)
+
+// Engine is the process-wide execution engine: one shared worker pool that
+// runs every chunked parallel phase (pipeline jobs, S2BDD strata, BDD
+// layers, MC/HT worlds) plus an admission controller that bounds how many
+// requests solve — or wait to solve — at once.
+//
+// Without an engine, each call spawns its own WithWorkers goroutines, so N
+// concurrent callers oversubscribe the machine N×. With one, a call runs
+// on its own goroutine and idle pool workers assist it; total goroutines
+// stay bounded by pool size + one per in-flight request. The chunk
+// schedule — boundaries, RNG streams, fold order — is workload-derived and
+// untouched, so results remain bit-identical for any pool size, any
+// admission limits, and any mixture of callers (see WithWorkers).
+//
+// Sessions use DefaultEngine unless SetEngine chooses another (or nil for
+// the standalone spawn-per-call mode). A Registry shares one engine across
+// all of its graphs.
+type Engine struct {
+	e *engine.Engine
+}
+
+// EngineConfig parameterizes NewEngine. The zero value matches
+// DefaultEngine: a GOMAXPROCS pool, unlimited admission, no cost cap.
+type EngineConfig struct {
+	// Workers is the pool size; ≤0 selects GOMAXPROCS.
+	Workers int
+	// MaxInFlight bounds concurrently admitted requests; ≤0 means
+	// unlimited (no queueing, every request admitted immediately).
+	MaxInFlight int
+	// QueueDepth bounds requests waiting for admission once MaxInFlight
+	// are solving; beyond it requests fail with ErrQueueFull. Ignored when
+	// MaxInFlight ≤ 0.
+	QueueDepth int
+	// MaxCost caps a single request's cost, measured in sample-draw units
+	// (samples × queries); over-cost requests fail with ErrOverCost before
+	// any planning. ≤0 disables the cap.
+	MaxCost int64
+}
+
+// EngineStats snapshots an engine's gauges and counters.
+type EngineStats struct {
+	// Workers is the pool size; Assists counts worker slots the pool
+	// executed on behalf of chunked phases.
+	Workers int
+	Assists uint64
+	// InFlight is the number of admitted, unfinished requests; Queued the
+	// number currently waiting for admission.
+	InFlight, Queued int
+	// MaxInFlight (0 = unlimited) and QueueCapacity echo the configuration.
+	MaxInFlight, QueueCapacity int
+	// Admitted, RejectedQueueFull, RejectedOverCost, RejectedDraining and
+	// CanceledWaiting count admission outcomes since the engine was
+	// created.
+	Admitted          uint64
+	RejectedQueueFull uint64
+	RejectedOverCost  uint64
+	RejectedDraining  uint64
+	CanceledWaiting   uint64
+}
+
+// Admission errors surfaced to servers: ErrQueueFull and ErrEngineDraining
+// are retryable (503), ErrOverCost is a client error. Errors returned by
+// queries wrap these; test with errors.Is.
+var (
+	ErrQueueFull      = engine.ErrQueueFull
+	ErrOverCost       = engine.ErrOverCost
+	ErrEngineDraining = engine.ErrDraining
+)
+
+// NewEngine starts an engine with its own worker pool. Callers that create
+// one should Close it when done; the pool goroutines run until then.
+func NewEngine(cfg EngineConfig) *Engine {
+	return &Engine{e: engine.New(engine.Config{
+		Workers:     cfg.Workers,
+		MaxInFlight: cfg.MaxInFlight,
+		QueueDepth:  cfg.QueueDepth,
+		MaxCost:     cfg.MaxCost,
+	})}
+}
+
+var (
+	defaultEngineOnce sync.Once
+	defaultEngine     *Engine
+)
+
+// DefaultEngine returns the lazily created process-wide engine backing all
+// sessions and package-level calls that did not choose their own: a
+// GOMAXPROCS-sized pool with unlimited admission and no cost cap, so
+// library callers see pooled execution without admission surprises.
+// Serving layers should run a NewEngine with explicit limits instead.
+func DefaultEngine() *Engine {
+	defaultEngineOnce.Do(func() {
+		defaultEngine = NewEngine(EngineConfig{Workers: runtime.GOMAXPROCS(0)})
+	})
+	return defaultEngine
+}
+
+// Stats snapshots the engine.
+func (e *Engine) Stats() EngineStats {
+	s := e.e.Stats()
+	return EngineStats{
+		Workers:           s.Workers,
+		Assists:           s.Assists,
+		InFlight:          s.InFlight,
+		Queued:            s.Queued,
+		MaxInFlight:       s.MaxInFlight,
+		QueueCapacity:     s.QueueCapacity,
+		Admitted:          s.Admitted,
+		RejectedQueueFull: s.RejectedQueueFull,
+		RejectedOverCost:  s.RejectedOverCost,
+		RejectedDraining:  s.RejectedDraining,
+		CanceledWaiting:   s.CanceledWaiting,
+	}
+}
+
+// Drain stops admitting new requests (current and future waiters fail with
+// ErrEngineDraining) while admitted requests finish with pool assistance.
+// Serving layers call it on shutdown before draining HTTP connections.
+func (e *Engine) Drain() { e.e.Drain() }
+
+// Close drains the engine and stops its pool goroutines; in-flight chunked
+// work completes on the callers' own goroutines. Closing DefaultEngine is
+// not supported.
+func (e *Engine) Close() { e.e.Close() }
+
+// exec returns the sampling.Executor view of an engine; nil receiver (the
+// standalone mode) yields a nil executor, i.e. spawn-per-call.
+func (e *Engine) exec() sampling.Executor {
+	if e == nil {
+		return nil
+	}
+	return e.e
+}
+
+// admit routes a request of the given cost through admission; the nil
+// (standalone) engine admits everything. release is never nil.
+func (e *Engine) admit(ctx context.Context, cost int64) (release func(), err error) {
+	if e == nil {
+		return func() {}, nil
+	}
+	return e.e.Admit(ctx, cost)
+}
+
+// queryCost is the admission cost of a request: its sample budget times
+// its query count (each at least 1, so exact and bounds-only requests
+// still count as one unit).
+func queryCost(o options, queries int) int64 {
+	s := o.samples
+	if s < 1 {
+		s = 1
+	}
+	if queries < 1 {
+		queries = 1
+	}
+	return int64(s) * int64(queries)
+}

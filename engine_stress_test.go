@@ -1,0 +1,288 @@
+package netrel
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stressOpts forces the stratified-sampling path (narrow width, many
+// strata) so cancellation has real mid-solve chunk schedules to interrupt.
+func stressOpts() []Option {
+	return []Option{WithSamples(3000), WithSeed(42), WithMaxWidth(16), WithWorkers(4)}
+}
+
+// waitForGoroutines polls until the goroutine count settles at or below
+// want, failing the test after a generous deadline.
+func waitForGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: %d > %d", runtime.NumGoroutine(), want)
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestEngineCancellationAdmissionStress saturates a tiny engine (2 pool
+// workers, 2 in flight, queue of 4) with queries that are cancelled
+// mid-queue, cancelled mid-solve, or left to finish, and asserts the three
+// acceptance properties: cancelled requests return promptly with ctx's
+// error (or an honest queue rejection), no goroutines leak, and every
+// surviving result is bit-identical to an idle-engine run. Runs under
+// `go test -race` in CI.
+func TestEngineCancellationAdmissionStress(t *testing.T) {
+	g := denseRandomGraph(t, 40, 140, 11)
+	termSets := [][]int{{0, 13, 26, 39}, {1, 20, 38}, {2, 19}, {5, 11, 33}}
+
+	// Idle-engine ground truth, one per terminal set.
+	idle := NewSession(g)
+	idle.SetEngine(nil) // standalone spawning: the pre-engine behavior
+	idle.SetCacheCapacity(0)
+	expected := make([]*Result, len(termSets))
+	for i, ts := range termSets {
+		res, err := idle.Reliability(ts, stressOpts()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Exact || res.SamplesUsed == 0 {
+			t.Fatal("workload no longer exercises the sampling path")
+		}
+		expected[i] = res
+	}
+
+	eng := NewEngine(EngineConfig{Workers: 2, MaxInFlight: 2, QueueDepth: 4})
+	t.Cleanup(eng.Close)
+	sess := NewSession(g)
+	sess.SetEngine(eng)
+	sess.SetCacheCapacity(0) // force a full solve per request
+
+	baseline := runtime.NumGoroutine()
+
+	// Sample the goroutine count while the load runs: with the shared pool
+	// it must stay bounded by baseline + one per client + the pool — never
+	// clients × workers as per-call spawning would produce.
+	const clients = 24
+	stopSampling := make(chan struct{})
+	peak := make(chan int, 1)
+	go func() {
+		max := 0
+		for {
+			select {
+			case <-stopSampling:
+				peak <- max
+				return
+			default:
+				if n := runtime.NumGoroutine(); n > max {
+					max = n
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	failures := make(chan error, clients*4)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			q := c % len(termSets)
+			switch c % 3 {
+			case 0:
+				// Run to completion, riding out saturation: the result must
+				// be bit-identical to the idle run.
+				for {
+					res, err := sess.ReliabilityContext(context.Background(), termSets[q], stressOpts()...)
+					if errors.Is(err, ErrQueueFull) {
+						time.Sleep(2 * time.Millisecond)
+						continue
+					}
+					if err != nil {
+						failures <- err
+						return
+					}
+					if res.Reliability != expected[q].Reliability || res.Variance != expected[q].Variance ||
+						res.SamplesUsed != expected[q].SamplesUsed {
+						failures <- errors.New("saturated-engine result diverged from idle-engine run")
+					}
+					return
+				}
+			case 1:
+				// Cancel mid-queue or mid-solve: either the query slipped
+				// through complete (then it must be correct) or it reports
+				// cancellation/saturation — never a corrupt result.
+				ctx, cancel := context.WithTimeout(context.Background(), time.Duration(1+c%5)*time.Millisecond)
+				res, err := sess.ReliabilityContext(ctx, termSets[q], stressOpts()...)
+				cancel()
+				switch {
+				case err == nil:
+					if res.Reliability != expected[q].Reliability {
+						failures <- errors.New("result after near-deadline run diverged")
+					}
+				case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled),
+					errors.Is(err, ErrQueueFull):
+				default:
+					failures <- err
+				}
+			case 2:
+				// Pre-cancelled: must fail fast with ctx's error, holding no
+				// slot.
+				ctx, cancel := context.WithCancel(context.Background())
+				cancel()
+				if _, err := sess.ReliabilityContext(ctx, termSets[q], stressOpts()...); !errors.Is(err, context.Canceled) {
+					failures <- errors.New("pre-cancelled query did not return context.Canceled")
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(stopSampling)
+	close(failures)
+	for err := range failures {
+		t.Error(err)
+	}
+
+	// The during-load bound: one goroutine per client (requests solve
+	// inline), the 2 pool workers (already in baseline), the sampler, and
+	// slack for timer/runtime goroutines. Per-call spawning would have
+	// peaked near clients × WithWorkers(4) extra.
+	if max := <-peak; max > baseline+clients+8 {
+		t.Errorf("goroutines peaked at %d (baseline %d, clients %d): not bounded by pool + in-flight",
+			max, baseline, clients)
+	}
+
+	// No goroutine leaks: everything beyond the baseline (which already
+	// includes the engine pool) must wind down; slack covers runtime
+	// helpers and timer goroutines.
+	waitForGoroutines(t, baseline+4)
+
+	st := eng.Stats()
+	if st.InFlight != 0 || st.Queued != 0 {
+		t.Fatalf("engine not drained: in_flight=%d queued=%d", st.InFlight, st.Queued)
+	}
+	if st.Admitted == 0 {
+		t.Fatal("stress run recorded no admissions")
+	}
+}
+
+// TestCancelledThenRetriedIsBitIdentical is the acceptance criterion: a
+// query interrupted mid-solve and retried returns exactly what an
+// uninterrupted query returns — cancellation leaves no partial state
+// behind (in particular, nothing half-solved enters the session cache).
+func TestCancelledThenRetriedIsBitIdentical(t *testing.T) {
+	g := denseRandomGraph(t, 40, 140, 11)
+	ts := []int{0, 13, 26, 39}
+
+	uninterrupted, err := Reliability(g, ts, stressOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := NewEngine(EngineConfig{Workers: 2, MaxInFlight: 2, QueueDepth: 4})
+	t.Cleanup(eng.Close)
+	sess := NewSession(g)
+	sess.SetEngine(eng)
+
+	// Interrupt with tighter and tighter deadlines until one actually
+	// cancels mid-solve (the first iterations may finish in time). The
+	// cache is disabled during this loop: a completed early attempt would
+	// otherwise warm it and make every later attempt an uninterruptible
+	// instant hit.
+	sess.SetCacheCapacity(0)
+	cancelled := false
+	for us := 2000; us >= 1; us /= 2 {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(us)*time.Microsecond)
+		_, err := sess.ReliabilityContext(ctx, ts, stressOpts()...)
+		cancel()
+		if errors.Is(err, context.DeadlineExceeded) {
+			cancelled = true
+			break
+		}
+	}
+	if !cancelled {
+		t.Fatal("no deadline was tight enough to interrupt the solve")
+	}
+
+	sess.SetCacheCapacity(DefaultCacheCapacity)
+	retried, err := sess.ReliabilityContext(context.Background(), ts, stressOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "cancelled-then-retried", uninterrupted, retried)
+
+	// And a second retry hits the now-warm cache with the same answer.
+	warm, err := sess.Reliability(ts, stressOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "cache-warm retry", uninterrupted, warm)
+	if st := sess.CacheStats(); st.Hits == 0 {
+		t.Fatal("second retry did not hit the cache")
+	}
+}
+
+// TestBatchCancellation covers the batch path: cancellation mid-batch
+// returns ctx's error, and the engine cost cap rejects oversized batches
+// before planning.
+func TestBatchCancellation(t *testing.T) {
+	g := denseRandomGraph(t, 40, 140, 11)
+	queries := []Query{
+		{Terminals: []int{0, 13, 26, 39}}, {Terminals: []int{1, 20, 38}},
+		{Terminals: []int{2, 19}}, {Terminals: []int{5, 11, 33}},
+	}
+
+	eng := NewEngine(EngineConfig{Workers: 2, MaxCost: 11_999})
+	t.Cleanup(eng.Close)
+	sess := NewSession(g)
+	sess.SetEngine(eng)
+
+	// 4 queries × 3000 samples = 12000 > 11999: rejected before planning.
+	if _, err := sess.BatchReliabilityContext(context.Background(), queries, stressOpts()...); !errors.Is(err, ErrOverCost) {
+		t.Fatalf("over-cost batch error = %v, want ErrOverCost", err)
+	}
+	if st := eng.Stats(); st.RejectedOverCost != 1 {
+		t.Fatalf("rejected_over_cost = %d", st.RejectedOverCost)
+	}
+
+	// Under the cap, a cancelled batch reports the deadline... (cache off:
+	// a completed early attempt would make later ones uninterruptible
+	// instant hits)
+	sess.SetCacheCapacity(0)
+	small := queries[:2] // 6000 ≤ 11999
+	cancelledOnce := false
+	for us := 2000; us >= 1; us /= 2 {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(us)*time.Microsecond)
+		_, err := sess.BatchReliabilityContext(ctx, small, stressOpts()...)
+		cancel()
+		if errors.Is(err, context.DeadlineExceeded) {
+			cancelledOnce = true
+			break
+		}
+	}
+	if !cancelledOnce {
+		t.Fatal("no deadline was tight enough to interrupt the batch")
+	}
+	// ...and the retried batch matches per-query sequential solving.
+	results, err := sess.BatchReliabilityContext(context.Background(), small, stressOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range small {
+		want, err := Reliability(g, q.Terminals, stressOpts()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[i].Reliability != want.Reliability {
+			t.Fatalf("batch query %d diverged after cancellation", i)
+		}
+	}
+}

@@ -10,6 +10,7 @@
 package bdd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -40,6 +41,10 @@ type Options struct {
 	// in chunk order, so the reliability is bit-identical for every worker
 	// count.
 	Workers int
+	// Exec optionally lends shared-pool goroutines to the layer expansion
+	// (see sampling.ForEachChunkCtx); nil spawns goroutines per layer.
+	// Results do not depend on it.
+	Exec sampling.Executor
 }
 
 // Result reports the exact reliability and construction statistics.
@@ -61,6 +66,14 @@ type node struct {
 
 // Compute builds the full BDD and returns the exact reliability.
 func Compute(g *ugraph.Graph, ts ugraph.Terminals, opts Options) (Result, error) {
+	return ComputeContext(context.Background(), g, ts, opts)
+}
+
+// ComputeContext is Compute with cancellation: construction checks ctx at
+// every layer (and the chunked expansion at every chunk boundary), so a
+// cancelled run returns ctx.Err() promptly. ctx never changes the
+// reliability an uncancelled run computes.
+func ComputeContext(ctx context.Context, g *ugraph.Graph, ts ugraph.Terminals, opts Options) (Result, error) {
 	if err := g.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -92,6 +105,9 @@ func Compute(g *ugraph.Graph, ts ugraph.Terminals, opts Options) (Result, error)
 		if len(cur) == 0 {
 			break
 		}
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		// Expand the layer in fixed-size parent chunks (worker-count
 		// independent), then merge chunk outputs in chunk order so the
 		// xfloat sums fold in a fixed sequence regardless of scheduling.
@@ -102,7 +118,7 @@ func Compute(g *ugraph.Graph, ts ugraph.Terminals, opts Options) (Result, error)
 		// states before the guard fires, versus ~budget sequentially.
 		nchunks := (len(cur) + parentChunk - 1) / parentChunk
 		outs := make([]chunkResult, nchunks)
-		sampling.ForEachChunk(nchunks, workers, func() func(int) {
+		if err := sampling.ForEachChunkCtx(ctx, opts.Exec, nchunks, workers, func() func(int) {
 			sc := frontier.NewScratch(plan)
 			var scratch frontier.State
 			keyBuf := make([]byte, 0, 64)
@@ -111,7 +127,9 @@ func Compute(g *ugraph.Graph, ts ugraph.Terminals, opts Options) (Result, error)
 				hi := min(lo+parentChunk, len(cur))
 				outs[c] = expandChunk(plan, l, cur[lo:hi], sc, &scratch, &keyBuf)
 			}
-		})
+		}); err != nil {
+			return Result{}, err
+		}
 
 		index := make(map[string]int, 2*len(cur))
 		next := make([]node, 0, 2*len(cur))

@@ -15,6 +15,7 @@ import (
 	"errors"
 
 	"netrel/internal/estimator"
+	"netrel/internal/sampling"
 	"netrel/internal/xfloat"
 )
 
@@ -59,6 +60,10 @@ type Config struct {
 	// chunked deterministically by (Seed, layer, stratum, chunk) — never by
 	// worker — so results are bit-identical for every worker count.
 	Workers int
+	// Exec optionally lends shared-pool goroutines to the sampling phase
+	// (see sampling.ForEachChunkCtx); nil spawns goroutines per call.
+	// Results do not depend on it.
+	Exec sampling.Executor
 
 	// Ablation switches (all default to the paper's configuration).
 

@@ -52,13 +52,17 @@ func (r *run) chunkRNG(layer, stratum, chunk int) *rand.Rand {
 
 // forStratumChunks runs do(completer, rng, chunk, n) for every chunk of the
 // stratum's draw budget (n = draws in that chunk) across up to r.workers
-// goroutines. Each worker owns one completer (union-find arena + frontier
-// map), switched to the stratum's layer before its first chunk; each chunk
-// owns its RNG. Chunk boundaries depend only on draws.
+// slots — executed by the shared pool when cfg.Exec is set, otherwise by
+// per-call goroutines. Each slot owns one completer (union-find arena +
+// frontier map), switched to the stratum's layer before its first chunk;
+// each chunk owns its RNG. Chunk boundaries depend only on draws, so the
+// execution venue never changes the fold. Cancellation (r.ctx) stops the
+// schedule at a chunk boundary; the caller detects it via r.ctx.Err() and
+// discards the stratum's partial fold.
 func (r *run) forStratumChunks(layer int, front []int32, stratum, draws int, do func(c *completer, rng *rand.Rand, chunk, n int)) {
 	nchunks := numChunks(draws)
 	slot := 0
-	sampling.ForEachChunk(nchunks, r.workers, func() func(int) {
+	_ = sampling.ForEachChunkCtx(r.ctx, r.cfg.Exec, nchunks, r.workers, func() func(int) {
 		comp := r.completerSlot(slot)
 		slot++
 		comp.setLayer(layer, front)

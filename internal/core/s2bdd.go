@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -29,6 +30,16 @@ type snapshot struct {
 
 // Compute runs the S2BDD on g with terminal set ts.
 func Compute(g *ugraph.Graph, ts ugraph.Terminals, cfg Config) (Result, error) {
+	return ComputeContext(context.Background(), g, ts, cfg)
+}
+
+// ComputeContext is Compute with cancellation: construction checks ctx at
+// every layer and the stratified sampling phase at every chunk boundary,
+// so a cancelled run returns ctx.Err() promptly and frees its workers. ctx
+// never influences the arithmetic — an uncancelled run is bit-identical to
+// Compute, and a cancelled-then-retried run returns exactly what an
+// uninterrupted run would have.
+func ComputeContext(ctx context.Context, g *ugraph.Graph, ts ugraph.Terminals, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	if err := g.Validate(); err != nil {
 		return Result{}, err
@@ -55,6 +66,7 @@ func Compute(g *ugraph.Graph, ts ugraph.Terminals, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	r := &run{
+		ctx:     ctx,
 		cfg:     cfg,
 		plan:    plan,
 		g:       g,
@@ -67,6 +79,7 @@ func Compute(g *ugraph.Graph, ts ugraph.Terminals, cfg Config) (Result, error) {
 
 // run carries the mutable state of one S2BDD execution.
 type run struct {
+	ctx  context.Context
 	cfg  Config
 	plan *frontier.Plan
 	g    *ugraph.Graph
@@ -159,6 +172,13 @@ func (r *run) execute() (Result, error) {
 	flushed := false
 	index := make(map[string]int, 256)
 	for l := 0; l < m && len(nodes) > 0; l++ {
+		// Cancellation is layer-granular during construction (the sampling
+		// phase additionally checks at every chunk boundary). A cancelled
+		// run discards all partial state; retries recompute from scratch
+		// and, being deterministic per seed, return the identical result.
+		if err := r.ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		e := r.plan.EdgeAt(l)
 		clear(index)
 		next := make([]node, 0, min(2*len(nodes), cfg.MaxWidth))
@@ -257,6 +277,9 @@ func (r *run) execute() (Result, error) {
 				break
 			}
 		}
+	}
+	if err := r.ctx.Err(); err != nil {
+		return Result{}, err
 	}
 	if len(nodes) != 0 && !flushed {
 		return Result{}, fmt.Errorf("core: %d unresolved states after final layer", len(nodes))

@@ -1,0 +1,306 @@
+// Package engine owns the process-wide execution resources of the module:
+// a fixed pool of worker goroutines that assists every chunked parallel
+// phase, and an admission controller that bounds how many requests may
+// solve (or wait to solve) concurrently.
+//
+// Before the engine existed, every Reliability/BatchReliability call
+// spawned its own WithWorkers goroutines, so N concurrent daemon requests
+// oversubscribed the machine N-fold and nothing could be cancelled. The
+// engine inverts that: work still arrives as the same deterministic chunk
+// schedule (chunk boundaries and RNG streams are workload-derived, so
+// results are bit-identical for any pool size — see internal/sampling),
+// but the goroutines executing chunks come from one shared pool.
+//
+// # Execution model
+//
+// The pool never queues work. A chunked phase always runs on its calling
+// goroutine, and offers its remaining worker slots to the pool via TryGo;
+// an offer succeeds only if a pool worker is idle at that instant
+// (hand-off over an unbuffered channel). A saturated pool therefore
+// degrades a request to sequential execution on its own goroutine instead
+// of deadlocking or spawning — which is also what makes nested fork-join
+// (pipeline jobs that internally fan out strata) safe: a worker executing
+// an outer slot that finds no idle workers for its inner slots simply
+// runs the inner chunks itself. Total goroutines are bounded by
+// pool size + one per in-flight request, never requests × workers.
+//
+// # Admission model
+//
+// Admit bounds concurrency at request granularity: MaxInFlight requests
+// may hold admission tokens, QueueDepth more may wait for one, and the
+// rest are rejected immediately with ErrQueueFull. A per-request cost cap
+// (MaxCost, in sample-draw units) rejects oversized requests before any
+// planning happens. Waiting is context-aware: a cancelled request leaves
+// the queue promptly, and Drain fails all current and future waiters so a
+// shutting-down server can 503 its queue while admitted work finishes.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Rejection and lifecycle errors. Servers map ErrQueueFull and ErrDraining
+// to 503 (retryable) and ErrOverCost to a client error.
+var (
+	// ErrQueueFull reports that MaxInFlight requests are solving and
+	// QueueDepth more are already waiting.
+	ErrQueueFull = errors.New("engine: admission queue full")
+	// ErrOverCost reports a request whose declared cost exceeds MaxCost.
+	ErrOverCost = errors.New("engine: request cost exceeds the per-request cap")
+	// ErrDraining reports an admission attempt on a draining engine.
+	ErrDraining = errors.New("engine: draining, not admitting new requests")
+	// ErrClosed reports an admission attempt on a closed engine.
+	ErrClosed = errors.New("engine: closed")
+)
+
+// Config parameterizes an Engine. The zero value is a permissive default:
+// a GOMAXPROCS-sized pool, unlimited admission, no cost cap.
+type Config struct {
+	// Workers is the pool size; ≤0 selects GOMAXPROCS.
+	Workers int
+	// MaxInFlight bounds concurrently admitted requests; ≤0 means
+	// unlimited (no queue, every request is admitted immediately).
+	MaxInFlight int
+	// QueueDepth bounds requests waiting for admission once MaxInFlight
+	// are in flight; beyond it Admit fails with ErrQueueFull. Ignored when
+	// MaxInFlight ≤ 0; 0 rejects as soon as MaxInFlight is reached.
+	QueueDepth int
+	// MaxCost is the per-request cost cap in sample-draw units
+	// (samples × queries); ≤0 disables the cap.
+	MaxCost int64
+}
+
+// Stats is a point-in-time snapshot of the engine.
+type Stats struct {
+	// Workers is the pool size; Assists counts chunk-phase worker slots
+	// the pool has executed (as opposed to slots run inline by callers).
+	Workers int
+	Assists uint64
+	// InFlight is the number of admitted, unreleased requests; Queued the
+	// number waiting for admission right now.
+	InFlight, Queued int
+	// MaxInFlight and QueueCapacity echo the configuration (0 = unlimited
+	// in-flight).
+	MaxInFlight, QueueCapacity int
+	// Admitted, RejectedQueueFull, RejectedOverCost, RejectedDraining and
+	// CanceledWaiting count Admit outcomes since the engine was created.
+	Admitted          uint64
+	RejectedQueueFull uint64
+	RejectedOverCost  uint64
+	RejectedDraining  uint64
+	CanceledWaiting   uint64
+}
+
+// Engine is a shared worker pool plus admission controller. It is safe for
+// concurrent use; the zero value is not usable — construct with New.
+type Engine struct {
+	workers int
+	maxCost int64
+
+	tasks chan func()   // unbuffered: sends succeed only into an idle worker
+	done  chan struct{} // closed by Close; stops pool workers
+
+	tokens chan struct{} // admission tokens; nil = unlimited
+	queue  chan struct{} // admission waiting slots
+
+	draining  atomic.Bool
+	drainCh   chan struct{} // closed by Drain; fails waiting admissions
+	drainOnce sync.Once
+	closeOnce sync.Once
+
+	inFlight atomic.Int64 // gauge (covers the unlimited mode too)
+	assists  atomic.Uint64
+	admitted atomic.Uint64
+	rejQueue atomic.Uint64
+	rejCost  atomic.Uint64
+	rejDrain atomic.Uint64
+	canceled atomic.Uint64
+}
+
+// New starts an engine with cfg's pool and admission limits. The pool
+// goroutines run until Close.
+func New(cfg Config) *Engine {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		workers: w,
+		maxCost: cfg.MaxCost,
+		tasks:   make(chan func()),
+		done:    make(chan struct{}),
+		drainCh: make(chan struct{}),
+	}
+	if cfg.MaxInFlight > 0 {
+		e.tokens = make(chan struct{}, cfg.MaxInFlight)
+		q := cfg.QueueDepth
+		if q < 0 {
+			q = 0
+		}
+		e.queue = make(chan struct{}, q)
+	}
+	for i := 0; i < w; i++ {
+		go func() {
+			for {
+				select {
+				case <-e.done:
+					return
+				case fn := <-e.tasks:
+					fn()
+				}
+			}
+		}()
+	}
+	return e
+}
+
+// TryGo offers fn to the pool. It returns true only if an idle worker
+// accepted it at this instant — fn then runs asynchronously and must
+// signal its own completion (callers use a WaitGroup). It returns false,
+// without running fn, when every worker is busy or the engine is closed;
+// the caller keeps the work. This no-queue hand-off is what makes nested
+// fork-join on one bounded pool deadlock-free.
+//
+// TryGo implements sampling.Executor.
+func (e *Engine) TryGo(fn func()) bool {
+	select {
+	case <-e.done:
+		return false
+	default:
+	}
+	select {
+	case e.tasks <- fn:
+		e.assists.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// Admit asks to start a request of the given cost (in sample-draw units;
+// pass 0 when no meaningful cost applies). On success it returns a release
+// function that must be called exactly once when the request finishes
+// (idempotent: extra calls are no-ops). Admit blocks only while the
+// request is queued; queued requests leave promptly when ctx is cancelled
+// or the engine drains.
+func (e *Engine) Admit(ctx context.Context, cost int64) (release func(), err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	switch {
+	case e.isClosed():
+		return nil, ErrClosed
+	case e.draining.Load():
+		e.rejDrain.Add(1)
+		return nil, ErrDraining
+	}
+	if e.maxCost > 0 && cost > e.maxCost {
+		e.rejCost.Add(1)
+		return nil, fmt.Errorf("%w: cost %d > limit %d", ErrOverCost, cost, e.maxCost)
+	}
+	if e.tokens == nil { // unlimited admission: count only
+		e.inFlight.Add(1)
+		e.admitted.Add(1)
+		return e.releaseFunc(), nil
+	}
+	select { // fast path: a token is free
+	case e.tokens <- struct{}{}:
+		e.inFlight.Add(1)
+		e.admitted.Add(1)
+		return e.tokenRelease(), nil
+	default:
+	}
+	select { // join the bounded waiting queue
+	case e.queue <- struct{}{}:
+	default:
+		e.rejQueue.Add(1)
+		return nil, fmt.Errorf("%w: %d in flight, %d waiting", ErrQueueFull, cap(e.tokens), cap(e.queue))
+	}
+	defer func() { <-e.queue }() // leave the queue on every outcome
+	select {
+	case e.tokens <- struct{}{}:
+		e.inFlight.Add(1)
+		e.admitted.Add(1)
+		return e.tokenRelease(), nil
+	case <-ctx.Done():
+		e.canceled.Add(1)
+		return nil, ctx.Err()
+	case <-e.drainCh:
+		e.rejDrain.Add(1)
+		return nil, ErrDraining
+	case <-e.done:
+		return nil, ErrClosed
+	}
+}
+
+func (e *Engine) releaseFunc() func() {
+	var once sync.Once
+	return func() { once.Do(func() { e.inFlight.Add(-1) }) }
+}
+
+func (e *Engine) tokenRelease() func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			e.inFlight.Add(-1)
+			<-e.tokens
+		})
+	}
+}
+
+// Drain stops admitting: current and future Admit calls — including those
+// already waiting in the queue — fail with ErrDraining, while admitted
+// requests keep their tokens and the pool keeps assisting them. Intended
+// for graceful shutdown: drain, let in-flight work finish, then Close.
+func (e *Engine) Drain() {
+	e.draining.Store(true)
+	e.drainOnce.Do(func() { close(e.drainCh) })
+}
+
+// Close drains the engine and stops the pool goroutines. In-flight chunked
+// phases complete on their calling goroutines (TryGo refuses new offers);
+// Close does not wait for them. Safe to call more than once.
+func (e *Engine) Close() {
+	e.Drain()
+	e.closeOnce.Do(func() { close(e.done) })
+}
+
+func (e *Engine) isClosed() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// MaxCost returns the per-request cost cap (0 = uncapped).
+func (e *Engine) MaxCost() int64 { return e.maxCost }
+
+// Stats snapshots the engine's gauges and counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Workers:           e.workers,
+		Assists:           e.assists.Load(),
+		InFlight:          int(e.inFlight.Load()),
+		Admitted:          e.admitted.Load(),
+		RejectedQueueFull: e.rejQueue.Load(),
+		RejectedOverCost:  e.rejCost.Load(),
+		RejectedDraining:  e.rejDrain.Load(),
+		CanceledWaiting:   e.canceled.Load(),
+	}
+	if e.tokens != nil {
+		s.MaxInFlight = cap(e.tokens)
+		s.QueueCapacity = cap(e.queue)
+		s.Queued = len(e.queue)
+	}
+	return s
+}

@@ -1,0 +1,302 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netrel/internal/sampling"
+)
+
+func TestAdmitUnlimited(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	var releases []func()
+	for i := 0; i < 100; i++ {
+		r, err := e.Admit(context.Background(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		releases = append(releases, r)
+	}
+	if got := e.Stats().InFlight; got != 100 {
+		t.Fatalf("in flight %d, want 100", got)
+	}
+	for _, r := range releases {
+		r()
+		r() // idempotent
+	}
+	if got := e.Stats().InFlight; got != 0 {
+		t.Fatalf("in flight after release %d, want 0", got)
+	}
+	if got := e.Stats().Admitted; got != 100 {
+		t.Fatalf("admitted %d, want 100", got)
+	}
+}
+
+func TestAdmitCostCap(t *testing.T) {
+	e := New(Config{Workers: 1, MaxCost: 10})
+	defer e.Close()
+	if _, err := e.Admit(context.Background(), 11); !errors.Is(err, ErrOverCost) {
+		t.Fatalf("cost 11 error = %v, want ErrOverCost", err)
+	}
+	r, err := e.Admit(context.Background(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r()
+	st := e.Stats()
+	if st.RejectedOverCost != 1 || st.Admitted != 1 {
+		t.Fatalf("rejectedCost=%d admitted=%d", st.RejectedOverCost, st.Admitted)
+	}
+}
+
+func TestAdmitQueueFullAndFIFO(t *testing.T) {
+	e := New(Config{Workers: 1, MaxInFlight: 1, QueueDepth: 1})
+	defer e.Close()
+
+	r1, err := e.Admit(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second request queues.
+	queued := make(chan error, 1)
+	go func() {
+		r2, err := e.Admit(context.Background(), 0)
+		if err == nil {
+			defer r2()
+		}
+		queued <- err
+	}()
+	// Wait until it occupies the queue slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for e.Stats().Queued != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Third request: queue full.
+	if _, err := e.Admit(context.Background(), 0); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third admit error = %v, want ErrQueueFull", err)
+	}
+	// Releasing the first token admits the queued request.
+	r1()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued admit failed: %v", err)
+	}
+	st := e.Stats()
+	if st.Admitted != 2 || st.RejectedQueueFull != 1 {
+		t.Fatalf("admitted=%d rejectedQueue=%d", st.Admitted, st.RejectedQueueFull)
+	}
+}
+
+func TestAdmitCancelWhileQueued(t *testing.T) {
+	e := New(Config{Workers: 1, MaxInFlight: 1, QueueDepth: 4})
+	defer e.Close()
+	r1, err := e.Admit(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1()
+	ctx, cancel := context.WithCancel(context.Background())
+	result := make(chan error, 1)
+	go func() {
+		_, err := e.Admit(ctx, 0)
+		result <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for e.Stats().Queued != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-result:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("queued admit error = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled admit did not return promptly")
+	}
+	st := e.Stats()
+	if st.CanceledWaiting != 1 || st.Queued != 0 {
+		t.Fatalf("canceled=%d queued=%d", st.CanceledWaiting, st.Queued)
+	}
+}
+
+func TestDrainFailsWaiters(t *testing.T) {
+	e := New(Config{Workers: 1, MaxInFlight: 1, QueueDepth: 4})
+	defer e.Close()
+	r1, err := e.Admit(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waiter := make(chan error, 1)
+	go func() {
+		_, err := e.Admit(context.Background(), 0)
+		waiter <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for e.Stats().Queued != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	e.Drain()
+	select {
+	case err := <-waiter:
+		if !errors.Is(err, ErrDraining) {
+			t.Fatalf("waiter error = %v, want ErrDraining", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("drain did not fail the waiter promptly")
+	}
+	// New admissions also fail, but the admitted request's release works.
+	if _, err := e.Admit(context.Background(), 0); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain admit error = %v, want ErrDraining", err)
+	}
+	r1()
+	st := e.Stats()
+	if st.InFlight != 0 {
+		t.Fatalf("in flight after drain+release %d, want 0", st.InFlight)
+	}
+	// Both the failed waiter and the fast-path rejection count as draining,
+	// not queue-full.
+	if st.RejectedDraining != 2 || st.RejectedQueueFull != 0 {
+		t.Fatalf("rejectedDraining=%d rejectedQueueFull=%d, want 2/0",
+			st.RejectedDraining, st.RejectedQueueFull)
+	}
+}
+
+func TestCloseRejectsAndStopsPool(t *testing.T) {
+	e := New(Config{Workers: 2})
+	e.Close()
+	e.Close() // idempotent
+	if _, err := e.Admit(context.Background(), 0); err == nil {
+		t.Fatal("closed engine admitted a request")
+	}
+	if e.TryGo(func() {}) {
+		t.Fatal("closed engine accepted work")
+	}
+}
+
+// TestTryGoHandOff verifies the no-queue discipline: offers succeed while
+// workers are idle, fail when all are busy, and never run fn on refusal.
+func TestTryGoHandOff(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+
+	block := make(chan struct{})
+	var started sync.WaitGroup
+	accepted := 0
+	for i := 0; i < 2; i++ {
+		started.Add(1)
+		ok := false
+		for j := 0; j < 100 && !ok; j++ { // workers may briefly be between loop turns
+			ok = e.TryGo(func() { started.Done(); <-block })
+			if !ok {
+				time.Sleep(time.Millisecond)
+			}
+		}
+		if !ok {
+			t.Fatalf("offer %d never accepted by an idle pool", i)
+		}
+		accepted++
+	}
+	started.Wait() // both workers are now provably busy
+	var ran atomic.Bool
+	if e.TryGo(func() { ran.Store(true) }) {
+		t.Fatal("saturated pool accepted an offer")
+	}
+	close(block)
+	time.Sleep(10 * time.Millisecond)
+	if ran.Load() {
+		t.Fatal("refused fn ran anyway")
+	}
+	if got := e.Stats().Assists; got != uint64(accepted) {
+		t.Fatalf("assists %d, want %d", got, accepted)
+	}
+}
+
+// TestForEachChunkCtxWithEngine verifies the pooled chunk schedule computes
+// the same fold as the spawning one, including under nesting (job slots
+// that fan out inner chunk schedules on the same pool).
+func TestForEachChunkCtxWithEngine(t *testing.T) {
+	e := New(Config{Workers: 3})
+	defer e.Close()
+
+	sum := func(exec sampling.Executor) int64 {
+		const outer, inner = 8, 50
+		results := make([]int64, outer)
+		err := sampling.ForEachChunkCtx(context.Background(), exec, outer, 4, func() func(int) {
+			return func(o int) {
+				partial := make([]int64, inner)
+				_ = sampling.ForEachChunkCtx(context.Background(), exec, inner, 4, func() func(int) {
+					return func(i int) {
+						partial[i] = int64(o*1000 + i)
+					}
+				})
+				var s int64
+				for _, v := range partial {
+					s += v
+				}
+				results[o] = s
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s int64
+		for _, v := range results {
+			s += v
+		}
+		return s
+	}
+
+	want := sum(nil) // spawning mode
+	for rep := 0; rep < 10; rep++ {
+		if got := sum(e); got != want {
+			t.Fatalf("pooled fold %d != spawning fold %d", got, want)
+		}
+	}
+}
+
+// TestForEachChunkCtxCancellation verifies cancellation stops chunk
+// claiming promptly and reports ctx.Err.
+func TestForEachChunkCtxCancellation(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	var executed atomic.Int64
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- sampling.ForEachChunkCtx(ctx, e, 1<<30, 4, func() func(int) {
+			return func(int) {
+				executed.Add(1)
+				time.Sleep(100 * time.Microsecond)
+			}
+		})
+	}()
+	for executed.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled chunk schedule did not return")
+	}
+	if executed.Load() >= 1<<29 {
+		t.Fatal("cancellation did not stop chunk claiming early")
+	}
+}

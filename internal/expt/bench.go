@@ -37,6 +37,13 @@ type BenchReport struct {
 	// SharedFraction is 1 − unique/total subproblems of that workload
 	// (the acceptance workload requires ≥ 0.30).
 	SharedFraction float64 `json:"shared_subproblem_fraction"`
+	// ConcurrentInFlight is the client concurrency of the serving-throughput
+	// measurement; ConcurrentQPSPooled and ConcurrentQPSSpawning are the
+	// queries-per-second it sustains through the bounded shared-pool engine
+	// versus the PR 2-era per-call goroutine spawning.
+	ConcurrentInFlight    int     `json:"concurrent_in_flight"`
+	ConcurrentQPSPooled   float64 `json:"concurrent_qps_pooled"`
+	ConcurrentQPSSpawning float64 `json:"concurrent_qps_spawning"`
 }
 
 // benchRepetitions is the number of times each workload runs; the fastest
@@ -204,6 +211,81 @@ func BenchTrajectory(cfg Config) (*BenchReport, error) {
 		report.BatchSpeedup = float64(seq) / float64(bat)
 	}
 	report.SharedFraction = shared
+
+	// --- Concurrent serving throughput: bounded pool vs per-call spawning. ---
+	// The same independent-query stream at a fixed client concurrency, once
+	// through a bounded engine (one shared pool, admission at the client
+	// count) and once in the standalone mode every call used before the
+	// engine existed (WithWorkers goroutines spawned per call, concurrent
+	// requests oversubscribing the machine).
+	const servingInFlight = 8
+	report.ConcurrentInFlight = servingInFlight
+	serveQPS := func(pooled bool) (float64, error) {
+		sess := netrel.NewSession(chain)
+		sess.SetCacheCapacity(0) // measure raw solves, not cache hits
+		if pooled {
+			eng := netrel.NewEngine(netrel.EngineConfig{
+				MaxInFlight: servingInFlight,
+				QueueDepth:  4 * servingInFlight,
+			})
+			defer eng.Close()
+			sess.SetEngine(eng)
+		} else {
+			sess.SetEngine(nil)
+		}
+		const nQ = 6 * servingInFlight
+		best, err := measure(benchRepetitions, func() error {
+			work := make(chan int)
+			errs := make(chan error, servingInFlight)
+			for w := 0; w < servingInFlight; w++ {
+				go func() {
+					for i := range work {
+						q := queries[i%len(queries)]
+						// Distinct seeds defeat cross-query dedup: every
+						// request is a full solve, like independent tenants.
+						_, err := sess.Reliability(q.Terminals,
+							netrel.WithSamples(cfg.Samples), netrel.WithMaxWidth(24),
+							netrel.WithoutSampleReduction(), netrel.WithSeed(cfg.Seed+uint64(i)))
+						if err != nil {
+							errs <- err
+							for range work { // keep the feeder unblocked
+							}
+							return
+						}
+					}
+					errs <- nil
+				}()
+			}
+			for i := 0; i < nQ; i++ {
+				work <- i
+			}
+			close(work)
+			for w := 0; w < servingInFlight; w++ {
+				if err := <-errs; err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		return float64(nQ) / best.Seconds(), nil
+	}
+	spawnQPS, err := serveQPS(false)
+	if err != nil {
+		return nil, err
+	}
+	pooledQPS, err := serveQPS(true)
+	if err != nil {
+		return nil, err
+	}
+	report.ConcurrentQPSSpawning = spawnQPS
+	report.ConcurrentQPSPooled = pooledQPS
+	report.Rows = append(report.Rows,
+		BenchRow{Name: "serve/spawning", NsPerOp: 1e9 / spawnQPS, Runs: benchRepetitions},
+		BenchRow{Name: "serve/pooled", NsPerOp: 1e9 / pooledQPS, Runs: benchRepetitions},
+	)
 	return report, nil
 }
 

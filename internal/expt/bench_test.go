@@ -27,13 +27,21 @@ func TestBenchTrajectoryReport(t *testing.T) {
 		}
 		names[row.Name] = true
 	}
-	for _, want := range []string{"s2bdd/pipeline", "s2bdd/sampling-hot-path", "batch/sequential", "batch/batched"} {
+	for _, want := range []string{"s2bdd/pipeline", "s2bdd/sampling-hot-path",
+		"batch/sequential", "batch/batched", "serve/spawning", "serve/pooled"} {
 		if !names[want] {
 			t.Fatalf("missing row %q (have %v)", want, names)
 		}
 	}
 	if report.BatchSpeedup <= 0 {
 		t.Fatalf("batch speedup %v", report.BatchSpeedup)
+	}
+	if report.ConcurrentInFlight != 8 {
+		t.Fatalf("concurrent in-flight %d, want 8", report.ConcurrentInFlight)
+	}
+	if report.ConcurrentQPSPooled <= 0 || report.ConcurrentQPSSpawning <= 0 {
+		t.Fatalf("concurrent QPS pooled=%v spawning=%v",
+			report.ConcurrentQPSPooled, report.ConcurrentQPSSpawning)
 	}
 	// The sharing structure is deterministic: the acceptance workload must
 	// share at least 30% of its subproblems.

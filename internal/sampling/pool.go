@@ -1,47 +1,98 @@
 package sampling
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
 
-// ForEachChunk executes fn(c) for every chunk index c in [0, n), where fn is
-// produced per worker by newWorker (letting each worker own its scratch
-// state — RNG buffers, union-find arenas, frontier scratch). Chunks are
-// claimed from a shared atomic counter, so the assignment of chunks to
-// workers is scheduling-dependent — which is why chunk work functions must
-// derive all randomness from the chunk index (via SeedStream), never from
-// the worker identity. With workers ≤ 1 (or a single chunk) everything runs
-// inline on the calling goroutine; the results are identical either way.
-func ForEachChunk(n, workers int, newWorker func() func(chunk int)) {
+// Executor lends goroutines to chunked executions. TryGo offers fn for
+// asynchronous execution and reports whether it was accepted; on false, fn
+// is not (and will never be) run, and the caller keeps the work. The
+// engine's shared worker pool implements Executor; a nil Executor means
+// "spawn a goroutine per slot", the standalone behavior.
+type Executor interface {
+	TryGo(fn func()) bool
+}
+
+// ForEachChunkCtx executes fn(c) for every chunk index c in [0, n), where
+// fn is produced per worker slot by newWorker (letting each slot own its
+// scratch state — RNG buffers, union-find arenas, frontier scratch).
+// Chunks are claimed from a shared atomic counter, so the assignment of
+// chunks to slots is scheduling-dependent — which is why chunk work
+// functions must derive all randomness from the chunk index (via
+// SeedStream), never from the slot identity. The schedule — boundaries and
+// the claim counter — depends only on n, never on workers, ctx, or exec,
+// so results are bit-identical however the slots are executed.
+//
+// The caller always runs one slot inline; the remaining workers−1 are
+// offered to exec, whose idle pool workers may accept them (a refused slot
+// simply isn't run — its chunks fall to the accepted slots and the
+// caller). Offers stop at the first refusal: a busy pool stays busy on the
+// microsecond scale of an offer loop, so later offers would only waste
+// scratch construction. With a nil exec every slot gets its own goroutine
+// (the standalone mode); with workers ≤ 1 (or a single chunk) everything
+// runs inline either way.
+//
+// Cancellation is chunk-granular: every slot re-checks ctx before claiming
+// its next chunk and stops claiming once ctx is done. ForEachChunkCtx then
+// returns ctx.Err(); the caller must treat its chunk results as partial
+// garbage and propagate the error. A context-free caller passes
+// context.Background() and pays no cancellation cost (its Done channel is
+// nil). All slot functions have returned by the time ForEachChunkCtx
+// returns, so per-slot scratch is safe to reuse.
+//
+// newWorker is always invoked on the calling goroutine (implementations
+// hand out pre-built per-slot state without synchronization).
+func ForEachChunkCtx(ctx context.Context, exec Executor, n, workers int, newWorker func() func(chunk int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	workers = ClampWorkers(workers, n)
-	if workers == 1 {
-		fn := newWorker()
-		for c := 0; c < n; c++ {
+	done := ctx.Done()
+	var next atomic.Int64
+	runSlot := func(fn func(int)) {
+		for {
+			if done != nil {
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+			c := int(next.Add(1)) - 1
+			if c >= n {
+				return
+			}
 			fn(c)
 		}
-		return
 	}
-	var next atomic.Int64
+	if workers == 1 {
+		runSlot(newWorker())
+		return ctx.Err()
+	}
 	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		// newWorker runs on the caller's goroutine so implementations may
-		// hand out pre-built per-worker state without synchronization.
+	offering := true
+	for w := 1; w < workers && (exec == nil || offering); w++ {
 		fn := newWorker()
-		go func() {
+		wg.Add(1)
+		slot := func() {
 			defer wg.Done()
-			for {
-				c := int(next.Add(1)) - 1
-				if c >= n {
-					return
-				}
-				fn(c)
+			runSlot(fn)
+		}
+		if exec != nil {
+			if !exec.TryGo(slot) {
+				// No idle pool worker: drop this slot and stop offering —
+				// the inline slot below (and any accepted ones) absorb the
+				// remaining chunks.
+				wg.Done()
+				offering = false
 			}
-		}()
+		} else {
+			go slot()
+		}
 	}
+	runSlot(newWorker())
 	wg.Wait()
+	return ctx.Err()
 }

@@ -12,6 +12,7 @@
 package sampling
 
 import (
+	"context"
 	"errors"
 	"runtime"
 
@@ -36,6 +37,10 @@ type Options struct {
 	// Workers is the parallelism degree; ≤0 selects GOMAXPROCS. The result
 	// is bit-identical for every worker count.
 	Workers int
+	// Exec optionally lends pool goroutines to the chunk schedule (see
+	// ForEachChunkCtx); nil spawns goroutines per call. Results do not
+	// depend on it.
+	Exec Executor
 }
 
 // Result reports the estimate and its statistics.
@@ -96,6 +101,14 @@ func SeedStream(seed uint64, coords ...uint64) uint64 {
 
 // Run estimates R[G,T] by sampling.
 func Run(g *ugraph.Graph, ts ugraph.Terminals, opts Options) (Result, error) {
+	return RunContext(context.Background(), g, ts, opts)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the chunk
+// schedule stops at the next chunk boundary and the error is ctx.Err().
+// The estimate itself is unaffected by ctx — an uncancelled run returns
+// exactly what Run returns.
+func RunContext(ctx context.Context, g *ugraph.Graph, ts ugraph.Terminals, opts Options) (Result, error) {
 	if opts.Samples <= 0 {
 		return Result{}, ErrNoSamples
 	}
@@ -109,9 +122,9 @@ func Run(g *ugraph.Graph, ts ugraph.Terminals, opts Options) (Result, error) {
 
 	switch opts.Estimator {
 	case estimator.MonteCarlo:
-		return runMC(g, ts, opts, workers)
+		return runMC(ctx, g, ts, opts, workers)
 	case estimator.HorvitzThompson:
-		return runHT(g, ts, opts, workers)
+		return runHT(ctx, g, ts, opts, workers)
 	default:
 		return Result{}, errors.New("sampling: unknown estimator")
 	}
@@ -144,10 +157,10 @@ func chunkCounts(samples int) []int {
 	return split(samples, (samples+ChunkSize-1)/ChunkSize)
 }
 
-func runMC(g *ugraph.Graph, ts ugraph.Terminals, opts Options, workers int) (Result, error) {
+func runMC(ctx context.Context, g *ugraph.Graph, ts ugraph.Terminals, opts Options, workers int) (Result, error) {
 	counts := chunkCounts(opts.Samples)
 	hits := make([]int, len(counts))
-	ForEachChunk(len(counts), workers, func() func(int) {
+	err := ForEachChunkCtx(ctx, opts.Exec, len(counts), workers, func() func(int) {
 		s := ugraph.NewWorldSampler(g, ts, 0)
 		return func(c int) {
 			s.Reseed(SeedStream(opts.Seed, uint64(c)))
@@ -160,6 +173,9 @@ func runMC(g *ugraph.Graph, ts ugraph.Terminals, opts Options, workers int) (Res
 			hits[c] = h
 		}
 	})
+	if err != nil {
+		return Result{}, err
+	}
 	total := 0
 	for _, h := range hits {
 		total += h
@@ -180,7 +196,7 @@ type htWorld struct {
 	pr xfloat.F
 }
 
-func runHT(g *ugraph.Graph, ts ugraph.Terminals, opts Options, workers int) (Result, error) {
+func runHT(ctx context.Context, g *ugraph.Graph, ts ugraph.Terminals, opts Options, workers int) (Result, error) {
 	// The HT sum ranges over distinct sampled worlds (it models sampling
 	// without replacement); worlds are deduplicated by fingerprint. On the
 	// paper's large graphs duplicates essentially never occur, but on
@@ -191,7 +207,7 @@ func runHT(g *ugraph.Graph, ts ugraph.Terminals, opts Options, workers int) (Res
 	counts := chunkCounts(opts.Samples)
 	worlds := make([][]htWorld, len(counts))
 	hits := make([]int, len(counts))
-	ForEachChunk(len(counts), workers, func() func(int) {
+	err := ForEachChunkCtx(ctx, opts.Exec, len(counts), workers, func() func(int) {
 		s := ugraph.NewWorldSampler(g, ts, 0)
 		return func(c int) {
 			s.Reseed(SeedStream(opts.Seed, uint64(c)))
@@ -208,6 +224,9 @@ func runHT(g *ugraph.Graph, ts ugraph.Terminals, opts Options, workers int) (Res
 			hits[c] = h
 		}
 	})
+	if err != nil {
+		return Result{}, err
+	}
 	seen := make(map[uint64]bool)
 	hitTotal := 0
 	sum := xfloat.Zero

@@ -1,0 +1,170 @@
+package netrel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry serves many named graphs over one shared Engine — the
+// multi-graph tenancy layer a serving daemon builds on. Each registered
+// graph owns a lazily constructed Session (its 2ECC preprocess index is
+// built on the first query, not at registration, so registering a large
+// graph is cheap) and its own LRU result cache, while all graphs share the
+// registry's engine: one worker pool, one admission queue, one set of
+// limits across every tenant.
+//
+// A Registry is safe for concurrent use; Register/Evict may interleave
+// with queries on other graphs. Evicting a graph does not interrupt its
+// in-flight queries — they hold the session and finish normally; the
+// registry merely stops handing it out.
+type Registry struct {
+	eng *Engine
+
+	mu       sync.RWMutex
+	graphs   map[string]*registryEntry
+	cacheCap int
+}
+
+type registryEntry struct {
+	name   string
+	source string
+	sess   *Session
+}
+
+// GraphInfo describes one registered graph.
+type GraphInfo struct {
+	// Name is the registry key; Source is the free-form provenance string
+	// given at registration (file path, dataset spec, …).
+	Name, Source string
+	// Vertices and Edges give the graph's shape.
+	Vertices, Edges int
+	// IndexBuilt reports whether the 2ECC index has been constructed yet
+	// (it is built lazily on the first query).
+	IndexBuilt bool
+}
+
+// ErrGraphNotFound reports a lookup of an unregistered graph name; the
+// returned error wraps it with the name.
+var ErrGraphNotFound = fmt.Errorf("netrel: graph not registered")
+
+// NewRegistry returns a registry whose graphs share eng; a nil eng selects
+// DefaultEngine.
+func NewRegistry(eng *Engine) *Registry {
+	if eng == nil {
+		eng = DefaultEngine()
+	}
+	return &Registry{
+		eng:      eng,
+		graphs:   make(map[string]*registryEntry),
+		cacheCap: DefaultCacheCapacity,
+	}
+}
+
+// Engine returns the engine shared by all registered graphs.
+func (r *Registry) Engine() *Engine { return r.eng }
+
+// SetCacheCapacity sets the per-graph result-cache capacity used for
+// subsequently registered graphs (n ≤ 0 disables their caches). It is
+// applied while the new session is still private, so — unlike
+// Session.SetCacheCapacity — it is safe to call at any time; sessions
+// already handed out are unaffected.
+func (r *Registry) SetCacheCapacity(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cacheCap = n
+}
+
+// validGraphName restricts registry keys to names that any routing layer
+// (URL path segments in particular) can address: 1–128 bytes of
+// ASCII letters, digits, '.', '_' and '-'. A graph named "a/b" would be
+// registrable but never evictable over HTTP.
+func validGraphName(name string) error {
+	if name == "" {
+		return fmt.Errorf("netrel: graph name must not be empty")
+	}
+	if len(name) > 128 {
+		return fmt.Errorf("netrel: graph name longer than 128 bytes")
+	}
+	for _, c := range []byte(name) {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("netrel: graph name %q may use only letters, digits, '.', '_' and '-'", name)
+		}
+	}
+	return nil
+}
+
+// Register adds g under name with a provenance string. The graph must not
+// be modified afterwards. Registration is cheap — the preprocess index is
+// built on the first query. It fails if the name is invalid (see
+// validGraphName) or taken.
+func (r *Registry) Register(name, source string, g *Graph) error {
+	if err := validGraphName(name); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.graphs[name]; ok {
+		return fmt.Errorf("netrel: graph %q already registered", name)
+	}
+	sess := newLazySession(g, r.eng)
+	// The session is still private here, so resizing its cache cannot race
+	// with queries.
+	sess.SetCacheCapacity(r.cacheCap)
+	r.graphs[name] = &registryEntry{
+		name:   name,
+		source: source,
+		sess:   sess,
+	}
+	return nil
+}
+
+// Session returns the named graph's session (building nothing: the index
+// materializes on the session's first query).
+func (r *Registry) Session(name string) (*Session, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.graphs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrGraphNotFound, name)
+	}
+	return e.sess, nil
+}
+
+// Evict removes the named graph, returning false if it was not registered.
+// In-flight queries on its session finish normally.
+func (r *Registry) Evict(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.graphs[name]
+	delete(r.graphs, name)
+	return ok
+}
+
+// Len returns the number of registered graphs.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.graphs)
+}
+
+// List describes every registered graph, sorted by name.
+func (r *Registry) List() []GraphInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]GraphInfo, 0, len(r.graphs))
+	for _, e := range r.graphs {
+		out = append(out, GraphInfo{
+			Name:       e.name,
+			Source:     e.source,
+			Vertices:   e.sess.Graph().N(),
+			Edges:      e.sess.Graph().M(),
+			IndexBuilt: e.sess.IndexBuilt(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,92 @@
+package netrel
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRegistryLifecycle(t *testing.T) {
+	eng := NewEngine(EngineConfig{})
+	t.Cleanup(eng.Close)
+	reg := NewRegistry(eng)
+	if reg.Engine() != eng {
+		t.Fatal("registry does not share the engine")
+	}
+
+	g := ringGraph(t, 6)
+	for _, bad := range []string{"", "a/b", "a b", "a\nb", strings.Repeat("x", 129)} {
+		if err := reg.Register(bad, "x", g); err == nil {
+			t.Fatalf("invalid name %q accepted", bad)
+		}
+	}
+	reg.SetCacheCapacity(7)
+	if err := reg.Register("ring", "ring/6", g); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("ring", "ring/6", g); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if reg.Len() != 1 {
+		t.Fatalf("len %d", reg.Len())
+	}
+
+	// Registration is lazy: no index until the first query.
+	infos := reg.List()
+	if len(infos) != 1 || infos[0].Name != "ring" || infos[0].IndexBuilt {
+		t.Fatalf("list %+v", infos)
+	}
+	sess, err := reg.Session("ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Engine() != eng {
+		t.Fatal("session does not share the registry engine")
+	}
+	if got := sess.CacheStats().Capacity; got != 7 {
+		t.Fatalf("registry cache capacity not applied: %d", got)
+	}
+	res, err := sess.Reliability([]int{0, 3}, WithSamples(500), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reliability <= 0 || res.Reliability >= 1 {
+		t.Fatalf("implausible reliability %v", res.Reliability)
+	}
+	if !reg.List()[0].IndexBuilt {
+		t.Fatal("index not built after the first query")
+	}
+
+	// A registry session answers identically to a standalone session.
+	want, err := NewSession(g).Reliability([]int{0, 3}, WithSamples(500), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reliability != want.Reliability {
+		t.Fatalf("registry %v vs standalone %v", res.Reliability, want.Reliability)
+	}
+
+	if _, err := reg.Session("nope"); !errors.Is(err, ErrGraphNotFound) {
+		t.Fatalf("unknown graph error = %v", err)
+	}
+	if !reg.Evict("ring") {
+		t.Fatal("evict failed")
+	}
+	if reg.Evict("ring") {
+		t.Fatal("double evict succeeded")
+	}
+	if _, err := reg.Session("ring"); err == nil {
+		t.Fatal("evicted graph still served")
+	}
+}
+
+func ringGraph(t *testing.T, n int) *Graph {
+	t.Helper()
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		if err := g.AddEdge(i, (i+1)%n, 0.8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}

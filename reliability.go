@@ -31,9 +31,16 @@
 //		{Terminals: []int{0, 2}},
 //		{Terminals: []int{1, 3}},
 //	}, netrel.WithSamples(10000), netrel.WithSeed(1))
+//
+// Execution rides a process-wide Engine: a shared worker pool with
+// admission control, so many concurrent callers never oversubscribe the
+// machine (see Engine, Registry). Every entry point has a …Context variant
+// whose cancellation propagates to chunk granularity; neither the engine
+// nor cancellation ever changes a computed value.
 package netrel
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sync/atomic"
@@ -107,12 +114,22 @@ var ErrNotExact = core.ErrNotExact
 // Reliability approximates R[G,T] with the paper's full pipeline:
 // preprocess (unless disabled) → S2BDD with bounds, Theorem 1 sample
 // reduction, and stratified completion sampling per subproblem → product.
+// Execution rides the process-wide DefaultEngine worker pool.
 func Reliability(g *Graph, terminals []int, opts ...Option) (*Result, error) {
+	return ReliabilityContext(context.Background(), g, terminals, opts...)
+}
+
+// ReliabilityContext is Reliability with cancellation: when ctx is
+// cancelled or its deadline passes, the computation stops at the next
+// layer or chunk boundary, frees its engine slots, and returns ctx.Err().
+// ctx never affects the result — a cancelled-then-retried query returns
+// exactly what an uninterrupted one would.
+func ReliabilityContext(ctx context.Context, g *Graph, terminals []int, opts ...Option) (*Result, error) {
 	o, err := buildOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	return run(g, terminals, o, false)
+	return run(ctx, g, terminals, o, false)
 }
 
 // Exact computes R[G,T] exactly via the S2BDD with unbounded sampling
@@ -120,17 +137,28 @@ func Reliability(g *Graph, terminals []int, opts ...Option) (*Result, error) {
 // than estimate. Suitable for small graphs (≈ a few hundred edges after
 // preprocessing, structure permitting).
 func Exact(g *Graph, terminals []int, opts ...Option) (*Result, error) {
+	return ExactContext(context.Background(), g, terminals, opts...)
+}
+
+// ExactContext is Exact with cancellation (see ReliabilityContext).
+func ExactContext(ctx context.Context, g *Graph, terminals []int, opts ...Option) (*Result, error) {
 	o, err := buildOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	return run(g, terminals, o, true)
+	return run(ctx, g, terminals, o, true)
 }
 
 // MonteCarlo estimates R[G,T] by plain possible-world sampling — the
 // baseline the paper compares against. The estimator option selects Monte
 // Carlo or Horvitz–Thompson weighting.
 func MonteCarlo(g *Graph, terminals []int, opts ...Option) (*Result, error) {
+	return MonteCarloContext(context.Background(), g, terminals, opts...)
+}
+
+// MonteCarloContext is MonteCarlo with cancellation (see
+// ReliabilityContext).
+func MonteCarloContext(ctx context.Context, g *Graph, terminals []int, opts ...Option) (*Result, error) {
 	o, err := buildOptions(opts)
 	if err != nil {
 		return nil, err
@@ -139,12 +167,19 @@ func MonteCarlo(g *Graph, terminals []int, opts ...Option) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	eng := DefaultEngine()
+	release, err := eng.admit(ctx, queryCost(o, 1))
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	start := time.Now()
-	res, err := sampling.Run(g.internal(), ts, sampling.Options{
+	res, err := sampling.RunContext(ctx, g.internal(), ts, sampling.Options{
 		Samples:   o.samples,
 		Estimator: o.estimatorKind(),
 		Seed:      o.seed,
 		Workers:   o.workers,
+		Exec:      eng.exec(),
 	})
 	if err != nil {
 		return nil, err
@@ -167,6 +202,11 @@ func MonteCarlo(g *Graph, terminals []int, opts ...Option) (*Result, error) {
 // frontier BDD (the paper's BDD baseline). Fails with a memory-limit error
 // on graphs whose diagram exceeds the node budget.
 func BDDExact(g *Graph, terminals []int, opts ...Option) (*Result, error) {
+	return BDDExactContext(context.Background(), g, terminals, opts...)
+}
+
+// BDDExactContext is BDDExact with cancellation (see ReliabilityContext).
+func BDDExactContext(ctx context.Context, g *Graph, terminals []int, opts ...Option) (*Result, error) {
 	o, err := buildOptions(opts)
 	if err != nil {
 		return nil, err
@@ -175,12 +215,19 @@ func BDDExact(g *Graph, terminals []int, opts ...Option) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	eng := DefaultEngine()
+	release, err := eng.admit(ctx, queryCost(o, 1))
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	start := time.Now()
 	ord := order.Compute(g.internal(), o.ordering.strategy(), ts[0])
-	res, err := bdd.Compute(g.internal(), ts, bdd.Options{
+	res, err := bdd.ComputeContext(ctx, g.internal(), ts, bdd.Options{
 		Order:      ord,
 		NodeBudget: o.bddBudget,
 		Workers:    o.workers,
+		Exec:       eng.exec(),
 	})
 	if err != nil {
 		return nil, err
@@ -252,7 +299,7 @@ func jobSeed(seed uint64, sig preprocess.Signature) uint64 {
 // is derived from its signature, and the S2BDD itself is worker-count
 // independent, so job results don't depend on how the pipeline schedules
 // them.
-func solveJob(j pipelineJob, o options, exactOnly bool, workers int) (core.Result, error) {
+func solveJob(ctx context.Context, exec sampling.Executor, j pipelineJob, o options, exactOnly bool, workers int) (core.Result, error) {
 	ord := order.Compute(j.g, o.ordering.strategy(), j.ts[0])
 	cfg := core.Config{
 		MaxWidth:                o.maxWidth,
@@ -262,6 +309,7 @@ func solveJob(j pipelineJob, o options, exactOnly bool, workers int) (core.Resul
 		Order:                   ord,
 		ExactOnly:               exactOnly,
 		Workers:                 workers,
+		Exec:                    exec,
 		DisableEarlyTermination: o.noEarlyTerm,
 		DisableHeuristic:        o.noHeuristic,
 		DisableStall:            o.noStall,
@@ -269,18 +317,24 @@ func solveJob(j pipelineJob, o options, exactOnly bool, workers int) (core.Resul
 		StallWindow:             o.stallWindow,
 		StallThreshold:          o.stallThreshold,
 	}
-	return core.Compute(j.g, j.ts, cfg)
+	return core.ComputeContext(ctx, j.g, j.ts, cfg)
 }
 
 // solveJobs solves the given subproblems concurrently with bounded
 // job-level parallelism, consulting (and filling) the session result cache
-// when one is present. Results are returned by job index.
+// when one is present. Results are returned by job index. Job slots ride
+// the shared pool when exec is set (idle pool workers pick up whole jobs;
+// within a job, strata are offered to the same pool), and a cancelled ctx
+// stops job claiming and every job's inner schedule at the next boundary.
 //
-// Every job gets the full worker budget: goroutine-level oversubscription
-// is harmless (the Go scheduler multiplexes onto GOMAXPROCS threads), and
+// Every job gets the full worker budget: worker-level oversubscription is
+// harmless (slots beyond the pool's spare capacity simply aren't run), and
 // once the small 2ECCs finish the dominant subproblem — typically holding
 // most of the edges — keeps all cores instead of a split share.
-func solveJobs(jobs []pipelineJob, o options, exactOnly bool, cache *batch.Cache) ([]core.Result, error) {
+//
+// Nothing is cached unless every job succeeded, so a cancelled request
+// leaves no partial state behind; a retry re-solves deterministically.
+func solveJobs(ctx context.Context, exec sampling.Executor, jobs []pipelineJob, o options, exactOnly bool, cache *batch.Cache) ([]core.Result, error) {
 	results := make([]core.Result, len(jobs))
 	fp := o.fingerprint(exactOnly)
 	miss := make([]int, 0, len(jobs))
@@ -296,7 +350,7 @@ func solveJobs(jobs []pipelineJob, o options, exactOnly bool, cache *batch.Cache
 	jobPar := min(total, len(miss))
 	errs := make([]error, len(jobs))
 	var failed atomic.Bool
-	sampling.ForEachChunk(len(miss), jobPar, func() func(int) {
+	if err := sampling.ForEachChunkCtx(ctx, exec, len(miss), jobPar, func() func(int) {
 		return func(k int) {
 			// Skip remaining jobs once any job failed (e.g. ErrNotExact from
 			// a tiny component under exactOnly) rather than solving large
@@ -307,12 +361,14 @@ func solveJobs(jobs []pipelineJob, o options, exactOnly bool, cache *batch.Cache
 				return
 			}
 			i := miss[k]
-			results[i], errs[i] = solveJob(jobs[i], o, exactOnly, total)
+			results[i], errs[i] = solveJob(ctx, exec, jobs[i], o, exactOnly, total)
 			if errs[i] != nil {
 				failed.Store(true)
 			}
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -363,8 +419,8 @@ func combineResults(out *Result, results []core.Result, factor xfloat.F, start t
 }
 
 // finishPipeline solves a planned query's subproblems and combines them.
-func finishPipeline(p *queryPlan, o options, exactOnly bool, cache *batch.Cache) (*Result, error) {
-	results, err := solveJobs(p.jobs, o, exactOnly, cache)
+func finishPipeline(ctx context.Context, exec sampling.Executor, p *queryPlan, o options, exactOnly bool, cache *batch.Cache) (*Result, error) {
+	results, err := solveJobs(ctx, exec, p.jobs, o, exactOnly, cache)
 	if err != nil {
 		return nil, err
 	}

@@ -1,11 +1,15 @@
 package netrel
 
 import (
+	"context"
 	"math"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"netrel/internal/batch"
 	"netrel/internal/preprocess"
+	"netrel/internal/sampling"
 	"netrel/internal/ugraph"
 	"netrel/internal/xfloat"
 )
@@ -28,30 +32,70 @@ const DefaultCacheCapacity = 4096
 // to recombination. CacheStats reports effectiveness; SetCacheCapacity
 // resizes or disables the cache.
 //
+// Execution rides an Engine: the shared worker pool runs the session's
+// chunked work and admission control bounds concurrent requests. A new
+// session uses DefaultEngine (permissive: pooled execution, unlimited
+// admission); SetEngine attaches a bounded engine — typically shared with
+// other sessions via a Registry — or nil for the standalone
+// spawn-goroutines-per-call mode. The engine changes only scheduling,
+// never results.
+//
 // The Session shares the Graph; the graph must not be modified while the
 // session is in use. Sessions are safe for concurrent queries (the index is
-// read-only after construction and the cache is internally locked). Within
-// one query, decomposed subproblems run concurrently under the WithWorkers
-// budget — see solveJobs — so a session serving many callers composes two
-// levels of parallelism; results are independent of both.
+// built once and read-only afterwards, and the cache is internally locked).
 type Session struct {
 	g     *Graph
-	idx   *preprocess.Index
 	cache *batch.Cache
+	eng   *Engine
+
+	idxOnce  sync.Once
+	idx      *preprocess.Index
+	idxBuilt atomic.Bool
 }
 
 // NewSession builds the topology index for g eagerly and returns a query
-// session with a result cache of DefaultCacheCapacity subproblems.
+// session with a result cache of DefaultCacheCapacity subproblems, backed
+// by DefaultEngine.
 func NewSession(g *Graph) *Session {
+	s := newLazySession(g, DefaultEngine())
+	s.index() // eager, as documented
+	return s
+}
+
+// newLazySession defers index construction to the first query — what a
+// Registry wants for graphs registered but not yet queried.
+func newLazySession(g *Graph, eng *Engine) *Session {
 	return &Session{
 		g:     g,
-		idx:   preprocess.BuildIndex(g.internal()),
 		cache: batch.NewCache(DefaultCacheCapacity),
+		eng:   eng,
 	}
 }
 
+// index returns the 2ECC index, building it on first use.
+func (s *Session) index() *preprocess.Index {
+	s.idxOnce.Do(func() {
+		s.idx = preprocess.BuildIndex(s.g.internal())
+		s.idxBuilt.Store(true)
+	})
+	return s.idx
+}
+
+// IndexBuilt reports whether the 2ECC index has been constructed yet
+// (lazily created sessions build it on the first query).
+func (s *Session) IndexBuilt() bool { return s.idxBuilt.Load() }
+
 // Graph returns the underlying graph.
 func (s *Session) Graph() *Graph { return s.g }
+
+// SetEngine attaches the execution engine used by this session's queries:
+// an engine from NewEngine (typically shared across sessions), or nil for
+// standalone per-call goroutine spawning with no admission control. Not
+// safe to call concurrently with queries.
+func (s *Session) SetEngine(e *Engine) { s.eng = e }
+
+// Engine returns the session's engine (nil in standalone mode).
+func (s *Session) Engine() *Engine { return s.eng }
 
 // SetCacheCapacity replaces the session's result cache with a fresh one
 // holding up to n subproblem results; n ≤ 0 disables caching. Existing
@@ -81,26 +125,59 @@ type CacheStats struct {
 // Reliability runs the full pipeline like the package-level Reliability,
 // reusing the session's precomputed index and result cache.
 func (s *Session) Reliability(terminals []int, opts ...Option) (*Result, error) {
+	return s.ReliabilityContext(context.Background(), terminals, opts...)
+}
+
+// ReliabilityContext is Reliability with cancellation and admission: the
+// request first acquires an engine slot (waiting in the bounded admission
+// queue if the engine is saturated, failing fast with ErrQueueFull or
+// ErrOverCost when it cannot), then solves under ctx — cancellation and
+// deadlines propagate to chunk granularity, and a cancelled request frees
+// its slot promptly. ctx never affects the computed value.
+func (s *Session) ReliabilityContext(ctx context.Context, terminals []int, opts ...Option) (*Result, error) {
 	o, err := buildOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	return runWithIndex(s.g, terminals, o, false, s.idx, s.cache)
+	release, err := s.eng.admit(ctx, queryCost(o, 1))
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return runWithIndex(ctx, s.eng.exec(), s.g, terminals, o, false, s.index(), s.cache)
 }
 
 // Exact runs the exact pipeline like the package-level Exact, reusing the
 // session's precomputed index and result cache.
 func (s *Session) Exact(terminals []int, opts ...Option) (*Result, error) {
+	return s.ExactContext(context.Background(), terminals, opts...)
+}
+
+// ExactContext is Exact with cancellation and admission (see
+// ReliabilityContext).
+func (s *Session) ExactContext(ctx context.Context, terminals []int, opts ...Option) (*Result, error) {
 	o, err := buildOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	return runWithIndex(s.g, terminals, o, true, s.idx, s.cache)
+	release, err := s.eng.admit(ctx, queryCost(o, 1))
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return runWithIndex(ctx, s.eng.exec(), s.g, terminals, o, true, s.index(), s.cache)
 }
 
-// run executes the Algorithm 1 pipeline, building the index on the fly.
-func run(g *Graph, terminals []int, o options, exactOnly bool) (*Result, error) {
-	return runWithIndex(g, terminals, o, exactOnly, nil, nil)
+// run executes the Algorithm 1 pipeline for the package-level entry
+// points: index built on the fly, no cache, DefaultEngine execution.
+func run(ctx context.Context, g *Graph, terminals []int, o options, exactOnly bool) (*Result, error) {
+	eng := DefaultEngine()
+	release, err := eng.admit(ctx, queryCost(o, 1))
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return runWithIndex(ctx, eng.exec(), g, terminals, o, exactOnly, nil, nil)
 }
 
 // queryPlan is one query after preprocessing: the jobs still to solve, the
@@ -116,7 +193,12 @@ type queryPlan struct {
 
 // planQuery validates terminals and runs preprocessing, producing the
 // decomposed subproblems (with canonical signatures) but not solving them.
-func planQuery(g *Graph, terminals []int, o options, idx *preprocess.Index) (*queryPlan, error) {
+// Cancellation is checked on entry and after the preprocess pass (the pass
+// itself is cheap relative to solving).
+func planQuery(ctx context.Context, g *Graph, terminals []int, o options, idx *preprocess.Index) (*queryPlan, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ts, err := ugraph.NewTerminals(g.internal(), terminals)
 	if err != nil {
 		return nil, err
@@ -142,6 +224,9 @@ func planQuery(g *Graph, terminals []int, o options, idx *preprocess.Index) (*qu
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	p.out.Preprocess = &PreprocessStats{
 		OriginalEdges:    prep.OriginalEdges,
 		MaxSubgraphEdges: prep.MaxSubgraphEdges,
@@ -165,14 +250,15 @@ func planQuery(g *Graph, terminals []int, o options, idx *preprocess.Index) (*qu
 
 // runWithIndex is the pipeline body shared by the package-level entry
 // points (idx == nil: build per call, no cache) and Session (idx
-// precomputed, cache attached).
-func runWithIndex(g *Graph, terminals []int, o options, exactOnly bool, idx *preprocess.Index, cache *batch.Cache) (*Result, error) {
-	p, err := planQuery(g, terminals, o, idx)
+// precomputed, cache attached). exec supplies the shared pool (nil:
+// standalone spawning); ctx cancels at layer/chunk granularity.
+func runWithIndex(ctx context.Context, exec sampling.Executor, g *Graph, terminals []int, o options, exactOnly bool, idx *preprocess.Index, cache *batch.Cache) (*Result, error) {
+	p, err := planQuery(ctx, g, terminals, o, idx)
 	if err != nil {
 		return nil, err
 	}
 	if p.done {
 		return p.out, nil
 	}
-	return finishPipeline(p, o, exactOnly, cache)
+	return finishPipeline(ctx, exec, p, o, exactOnly, cache)
 }
