@@ -39,8 +39,9 @@ func (s *Session) BatchReliability(queries []Query, opts ...Option) ([]*Result, 
 
 // BatchReliabilityContext is BatchReliability with cancellation and
 // admission. The whole batch is one admission unit whose cost is
-// samples × queries: an engine cost cap rejects oversized batches (with
-// ErrOverCost) before any planning happens, and a saturated engine queues
+// queries × (samples + construction budget) in sample-draw-equivalent
+// units (see EngineConfig.MaxCost): an engine cost cap rejects oversized
+// batches (with ErrOverCost) before any planning happens, and a saturated engine queues
 // or rejects the batch exactly like a single query. Cancellation
 // propagates into planning and every subproblem's chunk schedule; a
 // cancelled batch caches nothing, so retrying yields results bit-identical
@@ -53,7 +54,7 @@ func (s *Session) BatchReliabilityContext(ctx context.Context, queries []Query, 
 	if len(queries) == 0 {
 		return nil, nil
 	}
-	release, err := s.eng.admit(ctx, queryCost(o, len(queries)))
+	release, err := s.eng.admit(ctx, queryCost(o, len(queries), false))
 	if err != nil {
 		return nil, err
 	}

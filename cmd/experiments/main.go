@@ -9,9 +9,10 @@
 //	experiments -exp bench -benchout BENCH_trajectory.json
 //
 // The bench experiment emits a machine-readable benchmark snapshot
-// (ns/op for the S2BDD hot paths and the batch engine's speedup over
-// sequential per-query solving) so performance trajectories can be
-// compared across PRs by tooling.
+// (ns/op for the S2BDD hot paths, the sharded construction speedup on the
+// widest bundled dataset, and the batch engine's speedup over sequential
+// per-query solving) so performance trajectories can be compared across
+// PRs by tooling.
 package main
 
 import (

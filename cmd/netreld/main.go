@@ -72,7 +72,7 @@ func main() {
 		pool       = flag.Int("pool", 0, "engine worker-pool size (0 = GOMAXPROCS)")
 		inFlight   = flag.Int("inflight", 8, "max concurrently solving requests (0 = unlimited)")
 		queue      = flag.Int("queue", 64, "admission queue depth beyond -inflight")
-		maxCost    = flag.Int64("maxcost", 100_000_000, "per-request cost cap, samples×queries (0 = no cap)")
+		maxCost    = flag.Int64("maxcost", 100_000_000, "per-request cost cap in sample-draw-equivalent units, queries×(samples+construction budget) (0 = no cap)")
 		maxBody    = flag.Int64("maxbody", 8<<20, "request body size cap in bytes")
 		maxGraphs  = flag.Int("maxgraphs", 64, "max registered graphs (0 = no cap)")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
@@ -644,7 +644,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	before := sess.CacheStats()
 	start := time.Now()
 	// Admission happens inside BatchReliabilityContext before any planning:
-	// an over-cost batch (samples × queries > -maxcost) is rejected with an
+	// an over-cost batch (queries × (samples + construction budget) > -maxcost) is rejected with an
 	// error naming the limit without touching the graph.
 	results, err := sess.BatchReliabilityContext(r.Context(), queries, opts...)
 	if err != nil {

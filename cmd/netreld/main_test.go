@@ -425,14 +425,15 @@ func TestRequestCostCaps(t *testing.T) {
 }
 
 // TestEngineCostCapRejectsBeforePlanning covers the engine-level cost cap:
-// a batch whose samples×queries exceeds -maxcost is rejected with a JSON
-// error naming the limit, before any planning happens.
+// a batch whose cost — queries × (samples + ⌈WorkFactor·samples⌉
+// construction budget) — exceeds -maxcost is rejected with a JSON error
+// naming the limit, before any planning happens.
 func TestEngineCostCapRejectsBeforePlanning(t *testing.T) {
 	eng := netrel.NewEngine(netrel.EngineConfig{MaxCost: 5000})
 	t.Cleanup(eng.Close)
 	_, ts := newTestServer(t, eng, testDefaults())
 
-	// 3 queries × 2000 samples = 6000 > 5000.
+	// 3 queries × (2000 samples + 1000 construction) = 9000 > 5000.
 	var got map[string]string
 	code := postJSON(t, ts.URL+"/v1/batch",
 		`{"queries":[{"terminals":[0,2]},{"terminals":[1,3]},{"terminals":[0,3]}],"samples":2000}`, &got)
@@ -442,7 +443,7 @@ func TestEngineCostCapRejectsBeforePlanning(t *testing.T) {
 	if !strings.Contains(got["error"], "5000") {
 		t.Fatalf("error %q does not name the cost limit", got["error"])
 	}
-	// Under the cap it solves.
+	// Under the cap (1 × 3000 = 3000 ≤ 5000) it solves.
 	if code := postJSON(t, ts.URL+"/v1/batch",
 		`{"queries":[{"terminals":[0,2]}],"samples":2000}`, nil); code != http.StatusOK {
 		t.Fatalf("under-cost batch status %d", code)

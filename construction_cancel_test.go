@@ -1,0 +1,73 @@
+package netrel
+
+// Session-level construction cancellation (PR 4 satellite): a request
+// cancelled while the S2BDD is still *constructing* (not sampling) must
+// return promptly, leave nothing in the session result cache, and retry
+// bit-identically.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestConstructionCancellationCachesNothing(t *testing.T) {
+	// Samples(0) makes the run bounds-only: the stall rule is inert, so the
+	// S2BDD expands every layer at the width cap and the whole solve is
+	// construction — any mid-flight cancellation lands mid-expansion.
+	g := denseRandomGraph(t, 60, 560, 31)
+	ts := []int{0, 20, 40, 59}
+	opts := []Option{WithSamples(0), WithMaxWidth(512), WithSeed(3), WithWorkers(4)}
+
+	uninterrupted, err := Reliability(g, ts, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uninterrupted.Exact {
+		t.Fatal("workload solved exactly; widen it so construction overflows the width cap")
+	}
+
+	sess := NewSession(g)
+	cancelled := false
+	for us := 20000; us >= 1; us /= 2 {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(us)*time.Microsecond)
+		start := time.Now()
+		_, err := sess.ReliabilityContext(ctx, ts, opts...)
+		cancel()
+		if err == nil {
+			// Finished in time: the cache now holds this solve's
+			// subproblems; drop them so the cancelled attempt below starts
+			// cold, then tighten the deadline.
+			sess.SetCacheCapacity(DefaultCacheCapacity)
+			continue
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("cancelled construction returned %v", err)
+		}
+		if waited := time.Since(start); waited > 5*time.Second {
+			t.Fatalf("cancelled construction returned only after %v", waited)
+		}
+		cancelled = true
+		break
+	}
+	if !cancelled {
+		t.Fatal("no deadline was tight enough to interrupt construction")
+	}
+
+	// Nothing half-constructed may have entered the cache.
+	if st := sess.CacheStats(); st.Entries != 0 {
+		t.Fatalf("cancelled construction cached %d subproblem results", st.Entries)
+	}
+
+	// Retry on the same session: bit-identical to the uninterrupted run,
+	// and only now does the cache warm up.
+	retry, err := sess.Reliability(ts, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "construction-cancelled-then-retried", uninterrupted, retry)
+	if st := sess.CacheStats(); st.Entries == 0 {
+		t.Fatal("successful retry cached nothing")
+	}
+}

@@ -2,9 +2,12 @@ package netrel
 
 import (
 	"context"
+	"math"
 	"runtime"
 	"sync"
 
+	"netrel/internal/bdd"
+	"netrel/internal/core"
 	"netrel/internal/engine"
 	"netrel/internal/sampling"
 )
@@ -41,9 +44,12 @@ type EngineConfig struct {
 	// are solving; beyond it requests fail with ErrQueueFull. Ignored when
 	// MaxInFlight ≤ 0.
 	QueueDepth int
-	// MaxCost caps a single request's cost, measured in sample-draw units
-	// (samples × queries); over-cost requests fail with ErrOverCost before
-	// any planning. ≤0 disables the cap.
+	// MaxCost caps a single request's cost, measured in
+	// sample-draw-equivalent units: queries × (samples + the construction
+	// budget, ⌈WorkFactor·samples⌉ — construction effort is bounded by that
+	// multiple of the sampling cost, so it is billed like the extra draws
+	// it replaces). Over-cost requests fail with ErrOverCost before any
+	// planning. ≤0 disables the cap.
 	MaxCost int64
 }
 
@@ -151,10 +157,20 @@ func (e *Engine) admit(ctx context.Context, cost int64) (release func(), err err
 	return e.e.Admit(ctx, cost)
 }
 
-// queryCost is the admission cost of a request: its sample budget times
-// its query count (each at least 1, so exact and bounds-only requests
-// still count as one unit).
-func queryCost(o options, queries int) int64 {
+// queryCost is the admission cost of a request in sample-draw-equivalent
+// units (one unit ≈ one completion draw ≈ |E| node-slot operations). Each
+// query is billed its sample budget plus its construction budget:
+//
+//   - when the construction work budget is active (sampling run with the
+//     stall rule on), construction is capped at WorkFactor·s·|E| node-slot
+//     operations — the cost of about WorkFactor·s draws — so the query
+//     costs ⌈(1+WorkFactor)·s⌉ units;
+//   - otherwise (exactOnly, bounds-only s=0, or the stall rule disabled)
+//     construction sweeps every layer unbudgeted, bounded only by
+//     2·MaxWidth·|E| slot operations ≈ 2·MaxWidth draw-equivalents, and is
+//     billed that upper bound — so construction-heaviest requests cannot
+//     slip under a cost cap as one or two units.
+func queryCost(o options, queries int, exactOnly bool) int64 {
 	s := o.samples
 	if s < 1 {
 		s = 1
@@ -162,5 +178,30 @@ func queryCost(o options, queries int) int64 {
 	if queries < 1 {
 		queries = 1
 	}
-	return int64(s) * int64(queries)
+	construction := int64(math.Ceil(core.DefaultWorkFactor * float64(s)))
+	if exactOnly || o.samples == 0 || o.noStall {
+		construction = 2 * int64(o.maxWidth)
+	}
+	return (int64(s) + construction) * int64(queries)
+}
+
+// samplingCost is the admission cost of the MC/HT possible-world baseline,
+// which has no construction phase: its work is exactly its draws.
+func samplingCost(o options) int64 {
+	s := o.samples
+	if s < 1 {
+		s = 1
+	}
+	return int64(s)
+}
+
+// bddCost is the admission cost of the exact full-BDD baseline, whose work
+// is governed by its node budget (one node expansion ≈ one draw-equivalent
+// of frontier operations), not by samples or the S2BDD width.
+func bddCost(o options) int64 {
+	b := o.bddBudget
+	if b <= 0 {
+		b = bdd.DefaultNodeBudget
+	}
+	return int64(b)
 }

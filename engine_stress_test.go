@@ -245,7 +245,8 @@ func TestBatchCancellation(t *testing.T) {
 	sess := NewSession(g)
 	sess.SetEngine(eng)
 
-	// 4 queries × 3000 samples = 12000 > 11999: rejected before planning.
+	// 4 queries × (3000 samples + 1500 construction budget) = 18000 >
+	// 11999: rejected before planning.
 	if _, err := sess.BatchReliabilityContext(context.Background(), queries, stressOpts()...); !errors.Is(err, ErrOverCost) {
 		t.Fatalf("over-cost batch error = %v, want ErrOverCost", err)
 	}
@@ -257,7 +258,7 @@ func TestBatchCancellation(t *testing.T) {
 	// a completed early attempt would make later ones uninterruptible
 	// instant hits)
 	sess.SetCacheCapacity(0)
-	small := queries[:2] // 6000 ≤ 11999
+	small := queries[:2] // 2 × 4500 = 9000 ≤ 11999
 	cancelledOnce := false
 	for us := 2000; us >= 1; us /= 2 {
 		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(us)*time.Microsecond)

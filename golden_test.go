@@ -1,0 +1,155 @@
+package netrel_test
+
+// Golden regression file (PR 4 satellite): exact reliabilities and pinned
+// deterministic estimates for the bundled datasets' canonical queries,
+// asserted bit-for-bit in tier-1. Construction or scheduling refactors that
+// shift any float — a changed summation order, a moved RNG draw — fail this
+// test instead of drifting silently.
+//
+// Regenerate after an *intentional* arithmetic change with:
+//
+//	go test -run TestGoldenRegression -update .
+//
+// and review the diff of testdata/golden.json like any other code change.
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"netrel"
+	"netrel/datasets"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden.json from the current implementation")
+
+const goldenPath = "testdata/golden.json"
+
+// goldenCase is one canonical query. Exact cases run Exact (no sampling, so
+// the value is the true reliability up to rounding); estimate cases run
+// Reliability with a fixed seed and pin the full deterministic output of
+// construction + stratified sampling.
+type goldenCase struct {
+	Name      string `json:"name"`
+	Dataset   string `json:"dataset"`
+	GraphSeed uint64 `json:"graph_seed"`
+	Terminals []int  `json:"terminals"`
+	Exact     bool   `json:"exact"`
+	Samples   int    `json:"samples,omitempty"`
+	MaxWidth  int    `json:"max_width,omitempty"`
+	Seed      uint64 `json:"seed,omitempty"`
+
+	Expect goldenExpect `json:"expect"`
+}
+
+// goldenExpect pins every deterministic float of a Result. JSON numbers are
+// written by encoding/json with the shortest representation that round-trips
+// float64 exactly, so == comparison after decode is bit-exact.
+type goldenExpect struct {
+	Reliability float64 `json:"reliability"`
+	Lower       float64 `json:"lower"`
+	Upper       float64 `json:"upper"`
+	Exact       bool    `json:"exact"`
+	SamplesUsed int     `json:"samples_used"`
+}
+
+type goldenFile struct {
+	Schema string       `json:"schema"`
+	Cases  []goldenCase `json:"cases"`
+}
+
+// goldenWorkloads defines the canonical queries; expectations live in the
+// JSON file. All datasets generate at Small scale.
+func goldenWorkloads() []goldenCase {
+	return []goldenCase{
+		{Name: "karate/0-33/exact", Dataset: "Karate", GraphSeed: 1, Terminals: []int{0, 33}, Exact: true, MaxWidth: 1 << 17},
+		{Name: "karate/5-16-30/exact", Dataset: "Karate", GraphSeed: 1, Terminals: []int{5, 16, 30}, Exact: true, MaxWidth: 1 << 17},
+		{Name: "amrv/0-100/exact", Dataset: "Am-Rv", GraphSeed: 1, Terminals: []int{0, 100}, Exact: true, MaxWidth: 1 << 17},
+		{Name: "tokyo/0-5/estimate", Dataset: "Tokyo", GraphSeed: 1, Terminals: []int{0, 5}, Samples: 2000, MaxWidth: 64, Seed: 7},
+		{Name: "dblp1/10-200/estimate", Dataset: "DBLP1", GraphSeed: 1, Terminals: []int{10, 200}, Samples: 1000, MaxWidth: 64, Seed: 7},
+		{Name: "hitd/0-500/estimate", Dataset: "Hit-d", GraphSeed: 1, Terminals: []int{0, 500}, Samples: 300, MaxWidth: 64, Seed: 7},
+	}
+}
+
+func runGoldenCase(t *testing.T, c goldenCase) goldenExpect {
+	t.Helper()
+	g, err := datasets.Generate(c.Dataset, datasets.Small, c.GraphSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res *netrel.Result
+	if c.Exact {
+		res, err = netrel.Exact(g, c.Terminals, netrel.WithMaxWidth(c.MaxWidth))
+	} else {
+		res, err = netrel.Reliability(g, c.Terminals,
+			netrel.WithSamples(c.Samples), netrel.WithMaxWidth(c.MaxWidth), netrel.WithSeed(c.Seed))
+	}
+	if err != nil {
+		t.Fatalf("%s: %v", c.Name, err)
+	}
+	return goldenExpect{
+		Reliability: res.Reliability,
+		Lower:       res.Lower,
+		Upper:       res.Upper,
+		Exact:       res.Exact,
+		SamplesUsed: res.SamplesUsed,
+	}
+}
+
+func TestGoldenRegression(t *testing.T) {
+	if *updateGolden {
+		out := goldenFile{Schema: "netrel-golden/v1"}
+		for _, c := range goldenWorkloads() {
+			c.Expect = runGoldenCase(t, c)
+			out.Cases = append(out.Cases, c)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d cases", goldenPath, len(out.Cases))
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	var want goldenFile
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("golden file corrupt: %v", err)
+	}
+	if want.Schema != "netrel-golden/v1" {
+		t.Fatalf("golden schema %q", want.Schema)
+	}
+	canonical := goldenWorkloads()
+	if len(want.Cases) != len(canonical) {
+		t.Fatalf("golden file has %d cases, test defines %d (regenerate with -update)",
+			len(want.Cases), len(canonical))
+	}
+	for i, c := range want.Cases {
+		t.Run(c.Name, func(t *testing.T) {
+			// The file's query parameters must match the canonical workload
+			// exactly — otherwise an edited golden.json could weaken the
+			// queries (fewer samples, easier terminals) and still pass.
+			def := canonical[i]
+			def.Expect = c.Expect
+			if !reflect.DeepEqual(c, def) {
+				t.Fatalf("golden case parameters diverged from the canonical workload:\n file %+v\n want %+v", c, def)
+			}
+			got := runGoldenCase(t, c)
+			if got != c.Expect {
+				t.Fatalf("result drifted from golden value:\n got %+v\nwant %+v", got, c.Expect)
+			}
+		})
+	}
+}

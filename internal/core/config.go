@@ -60,6 +60,11 @@ type Config struct {
 	// chunked deterministically by (Seed, layer, stratum, chunk) — never by
 	// worker — so results are bit-identical for every worker count.
 	Workers int
+	// ConstructionWorkers splits the worker budget for the construction
+	// (layer-expansion) phase; ≤0 inherits Workers. Layer expansion is
+	// chunked by layer width alone and chunk logs replay in chunk order, so
+	// the value — like Workers — never changes results, only speed.
+	ConstructionWorkers int
 	// Exec optionally lends shared-pool goroutines to the sampling phase
 	// (see sampling.ForEachChunkCtx); nil spawns goroutines per call.
 	// Results do not depend on it.

@@ -34,11 +34,12 @@ func Compute(g *ugraph.Graph, ts ugraph.Terminals, cfg Config) (Result, error) {
 }
 
 // ComputeContext is Compute with cancellation: construction checks ctx at
-// every layer and the stratified sampling phase at every chunk boundary,
-// so a cancelled run returns ctx.Err() promptly and frees its workers. ctx
-// never influences the arithmetic — an uncancelled run is bit-identical to
-// Compute, and a cancelled-then-retried run returns exactly what an
-// uninterrupted run would have.
+// every layer and at every expansion-chunk boundary within a layer, and the
+// stratified sampling phase at every chunk boundary, so a cancelled run
+// returns ctx.Err() promptly and frees its workers. ctx never influences
+// the arithmetic — an uncancelled run is bit-identical to Compute, and a
+// cancelled-then-retried run returns exactly what an uninterrupted run
+// would have.
 func ComputeContext(ctx context.Context, g *ugraph.Graph, ts ugraph.Terminals, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	if err := g.Validate(); err != nil {
@@ -65,14 +66,19 @@ func ComputeContext(ctx context.Context, g *ugraph.Graph, ts ugraph.Terminals, c
 	if err != nil {
 		return Result{}, err
 	}
+	cw := cfg.ConstructionWorkers
+	if cw <= 0 {
+		cw = cfg.Workers
+	}
 	r := &run{
-		ctx:     ctx,
-		cfg:     cfg,
-		plan:    plan,
-		g:       g,
-		k:       len(ts),
-		rng:     rand.New(rand.NewPCG(cfg.Seed, 0xa0761d6478bd642f)),
-		workers: sampling.ClampWorkers(cfg.Workers, 0),
+		ctx:      ctx,
+		cfg:      cfg,
+		plan:     plan,
+		g:        g,
+		k:        len(ts),
+		rng:      rand.New(rand.NewPCG(cfg.Seed, 0xa0761d6478bd642f)),
+		workers:  sampling.ClampWorkers(cfg.Workers, 0),
+		cworkers: sampling.ClampWorkers(cw, 0),
 	}
 	return r.execute()
 }
@@ -89,9 +95,11 @@ type run struct {
 	// stratum allocations); all completion draws use per-chunk streams
 	// derived from (Seed, layer, stratum, chunk) so the sampling phase can
 	// run on any number of workers without changing the result.
-	rng     *rand.Rand
-	workers int
-	compls  []*completer // one per worker slot, created lazily
+	rng      *rand.Rand
+	workers  int
+	cworkers int           // construction (layer-expansion) worker budget
+	compls   []*completer  // one per sampling worker slot, created lazily
+	expands  []*expandSlot // one per construction worker slot, created lazily
 
 	pc xfloat.F // mass proven connected (1-sink)
 	pd xfloat.F // mass proven disconnected (0-sink)
@@ -104,32 +112,24 @@ type run struct {
 
 	remaining []int32 // per-vertex count of unprocessed incident edges
 
-	// pool recycles state storage between layers; construction creates and
-	// discards up to 2w states per layer, and reusing their slices removes
-	// the allocation churn from the hot loop.
-	pool []frontier.State
+	// pool is the driver's share of the recycled state storage; the
+	// expansion slots hold the rest (see distributeFree). Construction
+	// creates and discards up to 2w states per layer, and reusing their
+	// slices removes the allocation churn from the hot loop.
+	pool frontier.StatePool
+
+	// chunkBuf is the reusable per-layer chunk-log storage (see
+	// expandLayer); stale entries alias moved states but are overwritten
+	// before ever being read again.
+	chunkBuf []expandResult
 
 	res Result
 }
 
-// takeState copies src into recycled storage (or fresh storage when the
-// pool is empty).
-func (r *run) takeState(src *frontier.State) frontier.State {
-	var s frontier.State
-	if n := len(r.pool); n > 0 {
-		s = r.pool[n-1]
-		r.pool = r.pool[:n-1]
-	}
-	s.Comp = append(s.Comp[:0], src.Comp...)
-	s.Flag = append(s.Flag[:0], src.Flag...)
-	s.Tcnt = append(s.Tcnt[:0], src.Tcnt...)
-	return s
-}
-
-// recycle returns state storage to the pool.
+// recycle returns snapshot state storage to the driver pool.
 func (r *run) recycle(states []snapshot) {
 	for i := range states {
-		r.pool = append(r.pool, states[i].state)
+		r.pool.Put(states[i].state)
 	}
 }
 
@@ -143,10 +143,6 @@ func (r *run) execute() (Result, error) {
 		r.remaining[e.U]++
 		r.remaining[e.V]++
 	}
-
-	sc := frontier.NewScratch(r.plan)
-	var scratch frontier.State
-	keyBuf := make([]byte, 0, 64)
 
 	nodes := []node{{state: r.plan.Root(), p: xfloat.One}}
 	r.res.NodesCreated = 1
@@ -171,53 +167,47 @@ func (r *run) execute() (Result, error) {
 
 	flushed := false
 	index := make(map[string]int, 256)
+	var resolve []int32
 	for l := 0; l < m && len(nodes) > 0; l++ {
-		// Cancellation is layer-granular during construction (the sampling
-		// phase additionally checks at every chunk boundary). A cancelled
-		// run discards all partial state; retries recompute from scratch
-		// and, being deterministic per seed, return the identical result.
+		// Cancellation is checked per layer here and per expansion chunk
+		// inside expandLayer (the sampling phase additionally checks at
+		// every completion-chunk boundary). A cancelled run discards all
+		// partial state; retries recompute from scratch and, being
+		// deterministic per seed, return the identical result.
 		if err := r.ctx.Err(); err != nil {
 			return Result{}, err
 		}
 		e := r.plan.EdgeAt(l)
-		clear(index)
-		next := make([]node, 0, min(2*len(nodes), cfg.MaxWidth))
-		var deleted []snapshot
-		deletedMass := xfloat.Zero
 
-		for i := range nodes {
-			n := &nodes[i]
-			for _, exists := range [2]bool{true, false} {
-				w := e.P
-				if !exists {
-					w = 1 - e.P
-				}
-				childP := n.p.MulFloat64(w)
-				switch r.plan.Apply(l, &n.state, exists, !cfg.DisableEarlyTermination, sc, &scratch) {
-				case frontier.OneSink:
-					r.pc = r.pc.Add(childP)
-				case frontier.ZeroSink:
-					r.pd = r.pd.Add(childP)
-				case frontier.Live:
-					keyBuf = scratch.Key(keyBuf[:0])
-					if j, ok := index[string(keyBuf)]; ok {
-						next[j].p = next[j].p.Add(childP)
-						r.res.NodesMerged++
-					} else if len(next) < cfg.MaxWidth {
-						index[string(keyBuf)] = len(next)
-						next = append(next, node{state: r.takeState(&scratch), p: childP})
-						r.res.NodesCreated++
-					} else {
-						if cfg.ExactOnly {
-							return Result{}, ErrNotExact
-						}
-						deleted = append(deleted, snapshot{state: r.takeState(&scratch), p: childP})
-						deletedMass = deletedMass.Add(childP)
-						r.res.NodesDeleted++
-					}
-				}
+		// Expand the layer's parents chunk-parallel, then replay the chunk
+		// logs in chunk order against the width-bounded table — the replay
+		// reproduces the sequential sweep's bookkeeping exactly (see
+		// expand.go).
+		r.distributeFree()
+		chunks, err := r.expandLayer(l, nodes)
+		if err != nil {
+			return Result{}, err
+		}
+		clear(index)
+		table := layerTable{
+			next:  make([]node, 0, min(2*len(nodes), cfg.MaxWidth)),
+			index: index,
+		}
+		for ci := range chunks {
+			ch := &chunks[ci]
+			if cap(resolve) < len(ch.entries) {
+				resolve = make([]int32, len(ch.entries))
+			} else {
+				resolve = resolve[:len(ch.entries)]
+			}
+			for i := range resolve {
+				resolve[i] = entryUnresolved
+			}
+			if err := r.replayChunk(ch, &table, resolve); err != nil {
+				return Result{}, err
 			}
 		}
+		next, deleted, deletedMass := table.next, table.deleted, table.deletedMass
 
 		// Edge l is now processed: advance the frontier to F_{l+1} and
 		// update the remaining-degree counts used by the heuristic.
@@ -234,7 +224,7 @@ func (r *run) execute() (Result, error) {
 			r.recycle(deleted)
 		}
 		for i := range nodes {
-			r.pool = append(r.pool, nodes[i].state)
+			r.pool.Put(nodes[i].state)
 		}
 
 		// Priority-sort the next layer so that, when it overflows, the

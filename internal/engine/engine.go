@@ -29,8 +29,8 @@
 // Admit bounds concurrency at request granularity: MaxInFlight requests
 // may hold admission tokens, QueueDepth more may wait for one, and the
 // rest are rejected immediately with ErrQueueFull. A per-request cost cap
-// (MaxCost, in sample-draw units) rejects oversized requests before any
-// planning happens. Waiting is context-aware: a cancelled request leaves
+// (MaxCost, in caller-priced sample-draw-equivalent units) rejects
+// oversized requests before any planning happens. Waiting is context-aware: a cancelled request leaves
 // the queue promptly, and Drain fails all current and future waiters so a
 // shutting-down server can 503 its queue while admitted work finishes.
 package engine
@@ -70,8 +70,10 @@ type Config struct {
 	// are in flight; beyond it Admit fails with ErrQueueFull. Ignored when
 	// MaxInFlight ≤ 0; 0 rejects as soon as MaxInFlight is reached.
 	QueueDepth int
-	// MaxCost is the per-request cost cap in sample-draw units
-	// (samples × queries); ≤0 disables the cap.
+	// MaxCost is the per-request cost cap in sample-draw-equivalent
+	// units; callers price each request with their own cost model (the
+	// netrel layer bills queries × (samples + construction budget), and
+	// the baselines their draw or node budgets). ≤0 disables the cap.
 	MaxCost int64
 }
 

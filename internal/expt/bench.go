@@ -44,6 +44,14 @@ type BenchReport struct {
 	ConcurrentInFlight    int     `json:"concurrent_in_flight"`
 	ConcurrentQPSPooled   float64 `json:"concurrent_qps_pooled"`
 	ConcurrentQPSSpawning float64 `json:"concurrent_qps_spawning"`
+	// ConstructionSpeedup is sequential-ns / parallel-ns for the S2BDD
+	// construction phase (bounds-only run, so layer expansion is the whole
+	// workload) on the widest bundled dataset (Hit-d): ConstructionWorkers 1
+	// versus the full GOMAXPROCS budget. Expansion chunks are 64 parents, so
+	// the parallel run shards each 256-wide layer 4 ways; on a single-core
+	// machine (GOMAXPROCS=1) both schedules degenerate to sequential and the
+	// ratio is ≈1.
+	ConstructionSpeedup float64 `json:"construction_speedup"`
 }
 
 // benchRepetitions is the number of times each workload runs; the fastest
@@ -159,6 +167,47 @@ func BenchTrajectory(cfg Config) (*BenchReport, error) {
 	report.Rows = append(report.Rows, BenchRow{
 		Name: "s2bdd/sampling-hot-path", NsPerOp: float64(sampler.Nanoseconds()), Runs: benchRepetitions,
 	})
+
+	// --- Construction sharding on the widest bundled dataset. ---
+	// Hit-d (the dense protein network) keeps the S2BDD frontier wide for
+	// thousands of layers, which is exactly where sharded layer expansion
+	// pays. A bounds-only run (samples 0, stall rule inert) makes layer
+	// expansion the entire workload; ConstructionWidth-wide layers split
+	// into chunks of 64 parents (4 at the default width). Two repetitions,
+	// not three: each run sweeps all ~12k layers and the comparison is a
+	// ratio of like against like.
+	protein, err := datasets.Generate("Hit-d", cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("expt: generating Hit-d: %w", err)
+	}
+	pterms, err := datasets.RandomTerminals(protein, 10, cfg.Seed+31)
+	if err != nil {
+		return nil, err
+	}
+	const constructionReps = 2
+	constructionRun := func(cworkers int) (time.Duration, error) {
+		return measure(constructionReps, func() error {
+			_, err := netrel.Reliability(protein, pterms,
+				netrel.WithSamples(0), netrel.WithMaxWidth(cfg.ConstructionWidth),
+				netrel.WithSeed(cfg.Seed), netrel.WithConstructionWorkers(cworkers))
+			return err
+		})
+	}
+	cseq, err := constructionRun(1)
+	if err != nil {
+		return nil, err
+	}
+	cpar, err := constructionRun(0) // 0 = full GOMAXPROCS budget
+	if err != nil {
+		return nil, err
+	}
+	report.Rows = append(report.Rows,
+		BenchRow{Name: "construction/sequential", NsPerOp: float64(cseq.Nanoseconds()), Runs: constructionReps},
+		BenchRow{Name: "construction/parallel", NsPerOp: float64(cpar.Nanoseconds()), Runs: constructionReps},
+	)
+	if cpar > 0 {
+		report.ConstructionSpeedup = float64(cseq) / float64(cpar)
+	}
 
 	// --- Batch engine vs sequential per-query solving. ---
 	const blocks, blockSize, nQueries = 8, 10, 12

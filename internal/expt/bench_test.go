@@ -12,7 +12,12 @@ func TestBenchTrajectoryReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("wall-clock measurement")
 	}
-	cfg := Config{Scale: datasets.Small, Samples: 300, Width: 1000, Seed: 9}
+	if raceDetectorEnabled {
+		t.Skip("wall-clock measurement is meaningless under the race detector; CI runs the unraced bench step instead")
+	}
+	// ConstructionWidth 128 keeps the construction workload sharded (2
+	// chunks of 64 parents per layer) while halving its -race wall clock.
+	cfg := Config{Scale: datasets.Small, Samples: 300, Width: 1000, ConstructionWidth: 128, Seed: 9}
 	report, err := BenchTrajectory(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -28,10 +33,14 @@ func TestBenchTrajectoryReport(t *testing.T) {
 		names[row.Name] = true
 	}
 	for _, want := range []string{"s2bdd/pipeline", "s2bdd/sampling-hot-path",
+		"construction/sequential", "construction/parallel",
 		"batch/sequential", "batch/batched", "serve/spawning", "serve/pooled"} {
 		if !names[want] {
 			t.Fatalf("missing row %q (have %v)", want, names)
 		}
+	}
+	if report.ConstructionSpeedup <= 0 {
+		t.Fatalf("construction speedup %v", report.ConstructionSpeedup)
 	}
 	if report.BatchSpeedup <= 0 {
 		t.Fatalf("batch speedup %v", report.BatchSpeedup)

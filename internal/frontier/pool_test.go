@@ -1,0 +1,56 @@
+package frontier
+
+import "testing"
+
+func poolState(c uint16) State {
+	return State{Comp: []uint16{c, c}, Flag: []bool{true}, Tcnt: []uint16{1}}
+}
+
+func TestStatePoolTakeRecyclesStorage(t *testing.T) {
+	var p StatePool
+	src := poolState(3)
+	a := p.Take(&src)
+	if &a.Comp[0] == &src.Comp[0] {
+		t.Fatal("Take aliased the source storage")
+	}
+	if a.Comp[0] != 3 || !a.Flag[0] || a.Tcnt[0] != 1 {
+		t.Fatalf("Take copied wrong contents: %+v", a)
+	}
+	backing := &a.Comp[0]
+	p.Put(a)
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d after Put", p.Len())
+	}
+	src2 := poolState(9)
+	b := p.Take(&src2)
+	if &b.Comp[0] != backing {
+		t.Fatal("Take did not reuse recycled storage")
+	}
+	if b.Comp[0] != 9 || p.Len() != 0 {
+		t.Fatalf("recycled Take wrong: %+v, len %d", b, p.Len())
+	}
+}
+
+func TestStatePoolMoveTo(t *testing.T) {
+	var src, dst StatePool
+	for i := 0; i < 5; i++ {
+		src.Put(poolState(uint16(i)))
+	}
+	if n := src.MoveTo(&dst, 3); n != 3 {
+		t.Fatalf("MoveTo moved %d, want 3", n)
+	}
+	if src.Len() != 2 || dst.Len() != 3 {
+		t.Fatalf("after move: src %d dst %d", src.Len(), dst.Len())
+	}
+	// Asking for more than available moves what is there; zero or negative
+	// requests are no-ops.
+	if n := src.MoveTo(&dst, 10); n != 2 {
+		t.Fatalf("overdraw moved %d, want 2", n)
+	}
+	if n := src.MoveTo(&dst, 0); n != 0 {
+		t.Fatalf("zero request moved %d", n)
+	}
+	if src.Len() != 0 || dst.Len() != 5 {
+		t.Fatalf("after drain: src %d dst %d", src.Len(), dst.Len())
+	}
+}

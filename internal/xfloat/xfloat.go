@@ -202,7 +202,12 @@ func (a F) Log() float64 {
 	if a.m <= 0 {
 		panic("xfloat: Log of non-positive value")
 	}
-	return math.Log(a.m) + float64(a.e)*math.Ln2
+	// The explicit conversion forces the product to round before the
+	// addition, forbidding FMA fusion (Go spec §Floating-point operators):
+	// Log feeds the S2BDD deletion heuristic's sort keys, and a fused
+	// result on arm64 would make node deletion — and every golden value
+	// downstream of it — architecture-dependent.
+	return math.Log(a.m) + float64(float64(a.e)*math.Ln2)
 }
 
 // Log10 returns the base-10 logarithm of a (a > 0).

@@ -61,6 +61,7 @@ type options struct {
 	est            Estimator
 	seed           uint64
 	workers        int
+	cworkers       int
 	ordering       Ordering
 	noExtension    bool
 	noEarlyTerm    bool
@@ -126,9 +127,10 @@ func WithSeed(seed uint64) Option {
 }
 
 // WithWorkers sets the parallelism degree for every entry point — the
-// decomposed pipeline jobs and the S2BDD stratified-sampling phase of
-// Reliability and Exact, the layer expansion of BDDExact, and the Monte
-// Carlo baseline (default GOMAXPROCS; values ≤ 0 also select GOMAXPROCS).
+// decomposed pipeline jobs, the S2BDD layer expansion and
+// stratified-sampling phases of Reliability and Exact, the layer expansion
+// of BDDExact, and the Monte Carlo baseline (default GOMAXPROCS; values
+// ≤ 0 also select GOMAXPROCS).
 //
 // Determinism guarantee: all parallel work is scheduled as fixed-size
 // chunks whose random streams derive from (seed, layer, stratum, chunk)
@@ -138,6 +140,21 @@ func WithSeed(seed uint64) Option {
 func WithWorkers(n int) Option {
 	return func(o *options) error {
 		o.workers = n
+		return nil
+	}
+}
+
+// WithConstructionWorkers splits the WithWorkers budget for the S2BDD
+// construction phase alone: it bounds the goroutines expanding each BDD
+// layer, leaving sampling and job parallelism governed by WithWorkers.
+// Values ≤ 0 (the default) inherit WithWorkers. Like WithWorkers, the
+// value never changes results — construction is chunked by layer width and
+// per-chunk logs replay in a fixed order — so it exists for benchmarking
+// the construction speedup and for capping construction's extra threads on
+// loaded machines.
+func WithConstructionWorkers(n int) Option {
+	return func(o *options) error {
+		o.cworkers = n
 		return nil
 	}
 }
@@ -219,11 +236,11 @@ func buildOptions(opts []Option) (options, error) {
 }
 
 // fingerprint condenses every option that can change a subproblem's solved
-// result into one cache-key component. The worker count is deliberately
-// excluded — the parallel schedule is worker-count independent, so results
-// are too — as is the BDD baseline's node budget, which the pipeline never
-// reads. exactOnly distinguishes Exact from Reliability runs over the same
-// option set.
+// result into one cache-key component. The worker counts (WithWorkers and
+// WithConstructionWorkers) are deliberately excluded — the parallel
+// schedules are worker-count independent, so results are too — as is the
+// BDD baseline's node budget, which the pipeline never reads. exactOnly
+// distinguishes Exact from Reliability runs over the same option set.
 func (o *options) fingerprint(exactOnly bool) uint64 {
 	b2u := func(b bool) uint64 {
 		if b {

@@ -168,7 +168,7 @@ func MonteCarloContext(ctx context.Context, g *Graph, terminals []int, opts ...O
 		return nil, err
 	}
 	eng := DefaultEngine()
-	release, err := eng.admit(ctx, queryCost(o, 1))
+	release, err := eng.admit(ctx, samplingCost(o))
 	if err != nil {
 		return nil, err
 	}
@@ -216,7 +216,7 @@ func BDDExactContext(ctx context.Context, g *Graph, terminals []int, opts ...Opt
 		return nil, err
 	}
 	eng := DefaultEngine()
-	release, err := eng.admit(ctx, queryCost(o, 1))
+	release, err := eng.admit(ctx, bddCost(o))
 	if err != nil {
 		return nil, err
 	}
@@ -309,6 +309,7 @@ func solveJob(ctx context.Context, exec sampling.Executor, j pipelineJob, o opti
 		Order:                   ord,
 		ExactOnly:               exactOnly,
 		Workers:                 workers,
+		ConstructionWorkers:     o.cworkers,
 		Exec:                    exec,
 		DisableEarlyTermination: o.noEarlyTerm,
 		DisableHeuristic:        o.noHeuristic,

@@ -139,7 +139,7 @@ func (s *Session) ReliabilityContext(ctx context.Context, terminals []int, opts 
 	if err != nil {
 		return nil, err
 	}
-	release, err := s.eng.admit(ctx, queryCost(o, 1))
+	release, err := s.eng.admit(ctx, queryCost(o, 1, false))
 	if err != nil {
 		return nil, err
 	}
@@ -160,7 +160,7 @@ func (s *Session) ExactContext(ctx context.Context, terminals []int, opts ...Opt
 	if err != nil {
 		return nil, err
 	}
-	release, err := s.eng.admit(ctx, queryCost(o, 1))
+	release, err := s.eng.admit(ctx, queryCost(o, 1, true))
 	if err != nil {
 		return nil, err
 	}
@@ -172,7 +172,7 @@ func (s *Session) ExactContext(ctx context.Context, terminals []int, opts ...Opt
 // points: index built on the fly, no cache, DefaultEngine execution.
 func run(ctx context.Context, g *Graph, terminals []int, o options, exactOnly bool) (*Result, error) {
 	eng := DefaultEngine()
-	release, err := eng.admit(ctx, queryCost(o, 1))
+	release, err := eng.admit(ctx, queryCost(o, 1, exactOnly))
 	if err != nil {
 		return nil, err
 	}
