@@ -3,9 +3,12 @@ package netrel
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"netrel/internal/batch"
 	"netrel/internal/core"
+	"netrel/internal/preprocess"
+	"netrel/internal/ugraph"
 )
 
 // Query is one reliability query in a batch: a terminal set over the
@@ -16,59 +19,116 @@ type Query struct {
 }
 
 // BatchReliability answers many reliability queries over the session's
-// graph in one pass. Each query is preprocessed against the shared 2ECC
-// index; the decomposed subproblems of all queries are deduplicated by
-// canonical signature, solved exactly once each — largest-first across the
-// WithWorkers budget, consulting the session result cache — and every
-// query's answer is recombined from the shared solutions.
+// graph in one pass. Queries are first deduplicated by canonical terminal
+// set — every distinct set is planned (preprocessed against the shared 2ECC
+// index) exactly once, chunk-parallel on the engine pool under the
+// WithPlanWorkers budget, and the plan fans out to all queries that share
+// it. The decomposed subproblems of the distinct plans are then
+// deduplicated by canonical signature, solved exactly once each —
+// largest-first across the WithWorkers budget, consulting the session
+// result cache — and every query's answer is recombined from the shared
+// solutions.
 //
 // Results are bit-identical to issuing each query alone through
 // Session.Reliability with the same options: subproblem RNG seeds derive
-// from canonical signatures, never from a subproblem's position in a query
-// or the batch, so deduplication is invisible in the output. Queries that
-// share no structure cost the same as sequential calls; workloads whose
-// terminal sets cross the same 2ECC chains (reliability maximization, s-t
-// comparison sweeps) skip the bulk of their solves.
+// from canonical signatures, never from a query's position in the batch, so
+// neither level of deduplication (nor any worker count) is visible in the
+// output. Queries that share no structure cost the same as sequential
+// calls; workloads whose terminal sets repeat or cross the same 2ECC chains
+// (reliability maximization, s-t comparison sweeps) skip the bulk of both
+// planning and solving. PlanStats reports the dedup's effectiveness.
 //
-// The returned slice has one Result per query, in query order. Any invalid
-// query (empty or out-of-range terminals) fails the whole batch with an
-// error naming the offending query.
+// The returned slice has one Result per query, in query order (an empty
+// batch yields an empty, non-nil slice). Each Result's Duration is that
+// query's own plan-plus-solve wall-clock: its (possibly shared) planning
+// pass plus the batch solve phase it participated in — never other
+// queries' planning, and for queries answered by preprocessing alone, no
+// solve phase at all. Any invalid query (empty or out-of-range terminals)
+// fails the whole batch with an error naming the offending query.
 func (s *Session) BatchReliability(queries []Query, opts ...Option) ([]*Result, error) {
 	return s.BatchReliabilityContext(context.Background(), queries, opts...)
 }
 
 // BatchReliabilityContext is BatchReliability with cancellation and
-// admission. The whole batch is one admission unit whose cost is
-// queries × (samples + construction budget) in sample-draw-equivalent
-// units (see EngineConfig.MaxCost): an engine cost cap rejects oversized
-// batches (with ErrOverCost) before any planning happens, and a saturated engine queues
-// or rejects the batch exactly like a single query. Cancellation
-// propagates into planning and every subproblem's chunk schedule; a
-// cancelled batch caches nothing, so retrying yields results bit-identical
-// to an uninterrupted run.
+// admission. The batch is one admission unit admitted in two phases (see
+// EngineConfig.MaxCost): first at its planning cost — one
+// sample-draw-equivalent unit per distinct terminal set, checked against
+// MaxCost before any planning and queued like a single query when the
+// engine is saturated — then, with the admission slot still held, repriced
+// at the post-dedup solve cost: unique subproblems (capped at the
+// distinct-terminal-set count, so N duplicates of one query cost what the
+// query costs alone), not raw query count. Heavily-shared batches
+// are therefore billed for the work they actually cause instead of
+// tripping MaxCost limits sized for unshared traffic; an over-cost batch
+// fails with ErrOverCost either before planning (planning cost alone
+// exceeds the cap) or directly after it (solve cost does). Cancellation
+// propagates into the parallel planning phase and every subproblem's chunk
+// schedule; a cancelled batch caches nothing, so retrying yields results
+// bit-identical to an uninterrupted run.
 func (s *Session) BatchReliabilityContext(ctx context.Context, queries []Query, opts ...Option) ([]*Result, error) {
 	o, err := buildOptions(opts)
 	if err != nil {
 		return nil, err
 	}
 	if len(queries) == 0 {
-		return nil, nil
+		// "One Result per query, in query order" — for zero queries that is
+		// an empty non-nil slice; nil would read as "no answer" to callers
+		// that distinguish it from a (vacuously) answered batch.
+		return []*Result{}, nil
 	}
-	release, err := s.eng.admit(ctx, queryCost(o, len(queries), false))
+
+	// Canonicalize every terminal set up front — cheap, needed for
+	// plan-level dedup, and it fails invalid queries (naming the offender)
+	// before the batch occupies an admission slot.
+	termSets := make([]ugraph.Terminals, len(queries))
+	sigs := make([]preprocess.Signature, len(queries))
+	for i, q := range queries {
+		ts, err := ugraph.NewTerminals(s.g.internal(), q.Terminals)
+		if err != nil {
+			return nil, fmt.Errorf("netrel: batch query %d: %w", i, err)
+		}
+		termSets[i] = ts
+		sigs[i] = preprocess.SignTerminals(ts)
+	}
+	dd := batch.DedupTerminals(sigs)
+
+	// Admission phase 1: the planning cost.
+	release, err := s.eng.admit(ctx, planCost(dd.Distinct()))
 	if err != nil {
 		return nil, err
 	}
 	defer release()
+	idx, err := s.indexContext(ctx)
+	if err != nil {
+		return nil, err
+	}
 
-	// Plan every query against the shared index.
-	plans := make([]*queryPlan, len(queries))
-	jobLists := make([][]batch.Job, len(queries))
-	for i, q := range queries {
-		p, err := planQuery(ctx, s.g, q.Terminals, o, s.index())
+	// Plan each distinct terminal set exactly once, chunk-parallel on
+	// engine-pool slots. Plans land in per-slot storage; their contents
+	// depend only on the terminal set, so the worker count never changes
+	// them, and errors are attributed to the first query using the slot.
+	plans := make([]*queryPlan, dd.Distinct())
+	planWorkers := o.pworkers
+	if planWorkers <= 0 {
+		planWorkers = o.workers
+	}
+	if err := batch.PlanAll(ctx, s.eng.exec(), dd.Distinct(), planWorkers, func(d int) error {
+		p, err := planTerminals(ctx, s.g, termSets[dd.First[d]], o, idx)
 		if err != nil {
-			return nil, fmt.Errorf("netrel: batch query %d: %w", i, err)
+			return fmt.Errorf("netrel: batch query %d: %w", dd.First[d], err)
 		}
-		plans[i] = p
+		plans[d] = p
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Deduplicate subproblems across the distinct plans. plan.Unique is
+	// ordered largest-first, so solveJobs — the same cache-aware engine the
+	// sequential path uses — starts the dominant subproblems before the
+	// worker budget fills with small ones.
+	jobLists := make([][]batch.Job, dd.Distinct())
+	for d, p := range plans {
 		if p.done {
 			continue
 		}
@@ -76,36 +136,64 @@ func (s *Session) BatchReliabilityContext(ctx context.Context, queries []Query, 
 		for j, pj := range p.jobs {
 			jobs[j] = batch.Job{G: pj.g, Ts: pj.ts, Sig: pj.sig}
 		}
-		jobLists[i] = jobs
+		jobLists[d] = jobs
+	}
+	plan := batch.Build(jobLists)
+
+	totalJobs := 0
+	for _, d := range dd.Slot {
+		totalJobs += len(plan.Refs[d])
+	}
+	s.planBatches.Add(1)
+	s.planQueries.Add(uint64(len(queries)))
+	s.planPlanned.Add(uint64(dd.Distinct()))
+	s.planUnique.Add(uint64(len(plan.Unique)))
+	s.planTotal.Add(uint64(totalJobs))
+
+	// Admission phase 2: reprice at the post-dedup solve cost now that the
+	// unique-subproblem count is known. The slot is kept either way.
+	if err := s.eng.reprice(batchSolveCost(o, len(plan.Unique), dd.Distinct())); err != nil {
+		return nil, err
 	}
 
-	// Deduplicate subproblems across queries and solve each unique one
-	// once. plan.Unique is already ordered largest-first, so solveJobs —
-	// the same cache-aware engine the sequential path uses — starts the
-	// dominant subproblems before the worker budget fills with small ones.
-	plan := batch.Build(jobLists)
 	unique := make([]pipelineJob, len(plan.Unique))
 	for u, j := range plan.Unique {
 		unique[u] = pipelineJob{g: j.G, ts: j.Ts, sig: j.Sig}
 	}
+	solveStart := time.Now()
 	solved, err := solveJobs(ctx, s.eng.exec(), unique, o, false, s.cache)
 	if err != nil {
 		return nil, err
 	}
+	solveDur := time.Since(solveStart)
 
-	// Recombine each query's product from the shared results, in the
-	// query's own job order.
-	out := make([]*Result, len(queries))
-	for i, p := range plans {
+	// Recombine each distinct plan's product from the shared results once,
+	// in the plan's own job order; combineResults writes into the plan's
+	// partial result in place.
+	for d, p := range plans {
 		if p.done {
-			out[i] = p.out
-			continue
+			continue // p.out is already final (Duration = planDur)
 		}
-		results := make([]core.Result, len(plan.Refs[i]))
-		for j, u := range plan.Refs[i] {
+		results := make([]core.Result, len(plan.Refs[d]))
+		for j, u := range plan.Refs[d] {
 			results[j] = solved[u]
 		}
-		out[i] = combineResults(p.out, results, p.factor, p.start)
+		combineResults(p.out, results, p.factor)
+		if len(results) == 0 {
+			// Answered by preprocessing alone (single terminal, or every
+			// component factored out exactly): like a done plan, the query
+			// never entered the solve phase, so it isn't billed for it.
+			p.out.Duration = p.planDur
+		} else {
+			p.out.Duration = p.planDur + solveDur
+		}
+	}
+
+	// Fan the combined results out to the queries: every query — duplicates
+	// included — gets its own clone, so no two Results alias storage.
+	out := make([]*Result, len(queries))
+	for i := range queries {
+		out[i] = plans[dd.Slot[i]].cloneOut()
 	}
 	return out, nil
 }

@@ -1,11 +1,14 @@
 package netrel
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // blockChainGraph builds the canonical batch-sharing workload: `blocks`
@@ -201,8 +204,13 @@ func TestBatchEdgeCases(t *testing.T) {
 	g := bridgeOfTriangles(t)
 	s := NewSession(g)
 
-	if res, err := s.BatchReliability(nil); err != nil || res != nil {
-		t.Fatalf("empty batch: %v, %v", res, err)
+	// Regression: an empty batch must honour "one Result per query, in
+	// query order" — a non-nil empty slice, not the old nil, nil.
+	if res, err := s.BatchReliability(nil); err != nil || res == nil || len(res) != 0 {
+		t.Fatalf("nil batch: %v, %v (want non-nil empty slice)", res, err)
+	}
+	if res, err := s.BatchReliability([]Query{}); err != nil || res == nil || len(res) != 0 {
+		t.Fatalf("empty batch: %v, %v (want non-nil empty slice)", res, err)
 	}
 
 	// Trivial, disconnected, and regular queries mixed in one batch.
@@ -319,5 +327,272 @@ func TestSessionConcurrentMixedQueries(t *testing.T) {
 			assertSameResult(t, fmt.Sprintf("round %d batch query %d", r, i), want[i], batchOut[r][i])
 			assertSameResult(t, fmt.Sprintf("round %d single query %d", r, i), want[i], singleOut[r][i])
 		}
+	}
+}
+
+// TestBatchPlanDeterminism is the tentpole acceptance sweep: a batch with
+// duplicate terminal sets and a disconnected ("done") query must be
+// bit-identical across plan workers 1, 4 and GOMAXPROCS, and against
+// sequential Session.Reliability — while duplicates are planned exactly
+// once, asserted via the session's planner stats.
+func TestBatchPlanDeterminism(t *testing.T) {
+	const blocks, blockSize = 4, 8
+	base := blockChainGraph(t, blocks, blockSize, 7)
+	// One extra isolated vertex makes a disconnected (planning-only) query
+	// possible alongside the solving ones.
+	g, err := FromEdges(base.N()+1, base.Edges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	isolated := g.N() - 1
+
+	distinct := endToEndQueries(base, blocks, blockSize, 4)
+	queries := append([]Query{}, distinct...)
+	queries = append(queries, distinct[1], distinct[0], distinct[1]) // duplicates
+	queries = append(queries, Query{Terminals: []int{0, isolated}})  // done: R = 0
+	opts := []Option{WithSamples(1500), WithSeed(21), WithMaxWidth(24)}
+	wantPlanned := uint64(len(distinct) + 1)
+
+	seq := NewSession(g)
+	want := make([]*Result, len(queries))
+	for i, q := range queries {
+		r, err := seq.Reliability(q.Terminals, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+	if !want[len(queries)-1].Exact || want[len(queries)-1].Reliability != 0 {
+		t.Fatalf("disconnected query not answered exactly: %+v", want[len(queries)-1])
+	}
+
+	for _, pw := range append(workerCounts(), 3) {
+		t.Run(fmt.Sprintf("planworkers=%d", pw), func(t *testing.T) {
+			s := NewSession(g)
+			got, err := s.BatchReliability(queries, append(append([]Option{}, opts...), WithPlanWorkers(pw))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range queries {
+				assertSameResult(t, fmt.Sprintf("query %d", i), want[i], got[i])
+			}
+			st := s.PlanStats()
+			if st.Batches != 1 || st.Queries != uint64(len(queries)) {
+				t.Fatalf("plan stats counted %d batches / %d queries, want 1 / %d",
+					st.Batches, st.Queries, len(queries))
+			}
+			if st.Planned != wantPlanned {
+				t.Fatalf("planned %d distinct terminal sets, want %d (duplicates must be planned once)",
+					st.Planned, wantPlanned)
+			}
+			if st.UniqueSubproblems >= st.TotalSubproblems {
+				t.Fatalf("no subproblem sharing: %d unique of %d", st.UniqueSubproblems, st.TotalSubproblems)
+			}
+		})
+	}
+}
+
+// TestBatchResultsDoNotAlias pins the fan-out contract: queries sharing one
+// deduplicated plan must still get independent Result (and PreprocessStats)
+// values, so callers may mutate one without corrupting another.
+func TestBatchResultsDoNotAlias(t *testing.T) {
+	g := bridgeOfTriangles(t)
+	s := NewSession(g)
+	res, err := s.BatchReliability([]Query{
+		{Terminals: []int{0, 5}},
+		{Terminals: []int{5, 0}}, // same canonical terminal set
+	}, WithSamples(200), WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] == res[1] {
+		t.Fatal("duplicate queries share one *Result")
+	}
+	if res[0].Preprocess == nil || res[0].Preprocess == res[1].Preprocess {
+		t.Fatal("duplicate queries alias PreprocessStats")
+	}
+	if res[0].Reliability != res[1].Reliability {
+		t.Fatal("duplicate queries diverged")
+	}
+}
+
+// TestBatchDurationIsOwnPlanPlusSolve is the Duration satellite: a query's
+// Duration must cover its own planning plus the solve phase it took part in
+// — never other queries' planning, and no solve phase at all for queries
+// answered by preprocessing alone.
+func TestBatchDurationIsOwnPlanPlusSolve(t *testing.T) {
+	const blocks, blockSize = 4, 8
+	base := blockChainGraph(t, blocks, blockSize, 19)
+	g, err := FromEdges(base.N()+1, base.Edges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := endToEndQueries(base, blocks, blockSize, 4)
+	done := len(queries)
+	queries = append(queries, Query{Terminals: []int{0, g.N() - 1}}) // disconnected
+	trivial := len(queries)
+	queries = append(queries, Query{Terminals: []int{1}}) // single terminal: no jobs
+
+	s := NewSession(g)
+	start := time.Now()
+	res, err := s.BatchReliability(queries, WithSamples(4000), WithSeed(2), WithMaxWidth(24))
+	wall := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minSolved := time.Duration(math.MaxInt64)
+	for i, r := range res {
+		if r.Duration <= 0 {
+			t.Fatalf("query %d has non-positive duration %v", i, r.Duration)
+		}
+		if r.Duration > wall {
+			t.Fatalf("query %d duration %v exceeds the whole batch wall-clock %v", i, r.Duration, wall)
+		}
+		if i != done && i != trivial && r.Duration < minSolved {
+			minSolved = r.Duration
+		}
+	}
+	// Queries answered by preprocessing alone — disconnected terminals and
+	// the single-terminal trivial query — must not be billed for the solve
+	// phase the other queries share.
+	for _, i := range []int{done, trivial} {
+		if res[i].Duration >= minSolved {
+			t.Fatalf("planning-only query %d billed %v, not less than the cheapest solved query %v",
+				i, res[i].Duration, minSolved)
+		}
+	}
+	if res[trivial].Reliability != 1 || !res[trivial].Exact {
+		t.Fatalf("single-terminal query: %+v", res[trivial])
+	}
+}
+
+// TestBatchTwoPhaseAdmission pins the admission bugfix: a heavily-shared
+// batch is billed its post-dedup solve cost, so it clears a MaxCost that
+// the old queries × per-query billing tripped; unshared batches over the
+// cap still fail with ErrOverCost (now directly after planning).
+func TestBatchTwoPhaseAdmission(t *testing.T) {
+	g, err := FromEdges(4, []Edge{{0, 1, 0.9}, {1, 2, 0.8}, {2, 3, 0.9}, {3, 0, 0.7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := []Option{WithSamples(1000), WithSeed(6)}
+	o, err := buildOptions(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := queryCost(o, 1, false)
+
+	// Cap at twice one query's cost: 3 duplicates (1 unique subproblem)
+	// must pass, 3 distinct terminal sets (3 unique) must not.
+	eng := NewEngine(EngineConfig{MaxCost: 2 * per})
+	t.Cleanup(eng.Close)
+	s := NewSession(g)
+	s.SetEngine(eng)
+
+	dup := []Query{{Terminals: []int{0, 2}}, {Terminals: []int{2, 0}}, {Terminals: []int{0, 2}}}
+	res, err := s.BatchReliability(dup, opts...)
+	if err != nil {
+		t.Fatalf("deduplicated batch rejected despite post-dedup cost %d ≤ cap %d: %v", per, 2*per, err)
+	}
+	want, err := Reliability(g, []int{0, 2}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res {
+		assertSameResult(t, fmt.Sprintf("dup query %d", i), want, res[i])
+	}
+	if st := eng.Stats(); st.Repriced != 1 || st.RejectedOverCost != 0 {
+		t.Fatalf("repriced/rejected = %d/%d, want 1/0", st.Repriced, st.RejectedOverCost)
+	}
+
+	distinct := []Query{{Terminals: []int{0, 2}}, {Terminals: []int{1, 3}}, {Terminals: []int{0, 3}}}
+	if _, err := s.BatchReliability(distinct, opts...); !errors.Is(err, ErrOverCost) {
+		t.Fatalf("unshared over-cost batch error = %v, want ErrOverCost", err)
+	}
+	if st := eng.Stats(); st.RejectedOverCost != 1 {
+		t.Fatalf("rejected_over_cost = %d, want 1", st.RejectedOverCost)
+	}
+	if st := eng.Stats(); st.InFlight != 0 {
+		t.Fatalf("repriced-over-cost batch leaked its admission slot: in_flight = %d", st.InFlight)
+	}
+
+	// Duplicates of a *decomposing* query: the unique-subproblem count (4
+	// blocks) exceeds the distinct-terminal-set count (1), and the solve
+	// cost must cap at the latter — the batch costs what its one distinct
+	// query costs alone, regardless of how many duplicates ride along.
+	const blocks, blockSize = 4, 8
+	chain := blockChainGraph(t, blocks, blockSize, 31)
+	chainOpts := []Option{WithSamples(1000), WithSeed(6), WithMaxWidth(24)}
+	cs := NewSession(chain)
+	cs.SetEngine(eng)
+	q := endToEndQueries(chain, blocks, blockSize, 1)[0]
+	res, err = cs.BatchReliability([]Query{q, q, q, q, q}, chainOpts...)
+	if err != nil {
+		t.Fatalf("duplicated decomposing batch rejected: %v (solve cost must cap at distinct sets, not queries)", err)
+	}
+	if res[0].Subproblems != blocks {
+		t.Fatalf("workload stopped decomposing (%d subproblems); the cap case is no longer exercised", res[0].Subproblems)
+	}
+}
+
+// TestBatchConcurrentTwoPhaseAdmission stresses concurrent batches through
+// a small bounded engine — planning on pool slots, interleaved two-phase
+// admissions, shared session cache — under `go test -race`; every surviving
+// batch must be bit-identical to the sequential baseline.
+func TestBatchConcurrentTwoPhaseAdmission(t *testing.T) {
+	const blocks, blockSize = 4, 8
+	g := blockChainGraph(t, blocks, blockSize, 23)
+	queries := endToEndQueries(g, blocks, blockSize, 4)
+	queries = append(queries, queries[0], queries[2]) // duplicates in flight
+	opts := []Option{WithSamples(600), WithSeed(8), WithMaxWidth(24), WithWorkers(4)}
+
+	baseline := NewSession(g)
+	want := make([]*Result, len(queries))
+	for i, q := range queries {
+		r, err := baseline.Reliability(q.Terminals, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+
+	eng := NewEngine(EngineConfig{Workers: 4, MaxInFlight: 2, QueueDepth: 64, MaxCost: 1 << 40})
+	t.Cleanup(eng.Close)
+	shared := NewSession(g)
+	shared.SetEngine(eng)
+
+	const rounds = 6
+	outs := make([][]*Result, rounds)
+	errs := make([]error, rounds)
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			// Different plan-worker counts per round exercise every
+			// scheduling shape concurrently; results must not care.
+			outs[r], errs[r] = shared.BatchReliability(queries,
+				append(append([]Option{}, opts...), WithPlanWorkers(r%3))...)
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < rounds; r++ {
+		if errs[r] != nil {
+			t.Fatal(errs[r])
+		}
+		for i := range queries {
+			assertSameResult(t, fmt.Sprintf("round %d query %d", r, i), want[i], outs[r][i])
+		}
+	}
+	st := eng.Stats()
+	if st.Repriced != rounds {
+		t.Fatalf("repriced = %d, want %d", st.Repriced, rounds)
+	}
+	if st.InFlight != 0 || st.Queued != 0 {
+		t.Fatalf("engine not drained: in_flight=%d queued=%d", st.InFlight, st.Queued)
+	}
+	ps := shared.PlanStats()
+	if ps.Batches != rounds || ps.Planned != rounds*uint64(len(queries)-2) {
+		t.Fatalf("planner stats %+v, want %d batches × %d distinct plans", ps, rounds, len(queries)-2)
 	}
 }

@@ -10,9 +10,10 @@
 //
 // The bench experiment emits a machine-readable benchmark snapshot
 // (ns/op for the S2BDD hot paths, the sharded construction speedup on the
-// widest bundled dataset, and the batch engine's speedup over sequential
-// per-query solving) so performance trajectories can be compared across
-// PRs by tooling.
+// widest bundled dataset, the batch engine's speedup over sequential
+// per-query solving, and the parallel-planning speedup on a
+// high-duplication batch) so performance trajectories can be compared
+// across PRs by tooling.
 package main
 
 import (

@@ -8,7 +8,10 @@
 // oversubscribe the host (goroutines stay bounded by pool + in-flight
 // requests, not requests × workers), saturation queues up to -queue
 // requests and 503s the rest, and a per-request cost cap rejects oversized
-// work before any planning.
+// work: single queries before any planning, batches in two phases — their
+// (small) planning cost before planning and their deduplicated solve cost
+// directly after it, so a batch of near-identical queries is billed for
+// the unique work it causes, not its raw query count.
 //
 // Usage:
 //
@@ -72,7 +75,7 @@ func main() {
 		pool       = flag.Int("pool", 0, "engine worker-pool size (0 = GOMAXPROCS)")
 		inFlight   = flag.Int("inflight", 8, "max concurrently solving requests (0 = unlimited)")
 		queue      = flag.Int("queue", 64, "admission queue depth beyond -inflight")
-		maxCost    = flag.Int64("maxcost", 100_000_000, "per-request cost cap in sample-draw-equivalent units, queries×(samples+construction budget) (0 = no cap)")
+		maxCost    = flag.Int64("maxcost", 100_000_000, "per-request cost cap in sample-draw-equivalent units: samples+construction budget per query; batches are checked pre-planning at planning cost and post-planning at their deduped solve cost (0 = no cap)")
 		maxBody    = flag.Int64("maxbody", 8<<20, "request body size cap in bytes")
 		maxGraphs  = flag.Int("maxgraphs", 64, "max registered graphs (0 = no cap)")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
@@ -324,16 +327,29 @@ type cacheResponse struct {
 	Capacity int    `json:"capacity"`
 }
 
+// plannerResponse reports batch-planner dedup effectiveness: of the queries
+// that arrived in batches, how many distinct terminal sets were actually
+// planned and how far subproblem dedup compressed the solve schedule.
+type plannerResponse struct {
+	Batches           uint64 `json:"batches"`
+	Queries           uint64 `json:"queries"`
+	Planned           uint64 `json:"planned"`
+	DedupedQueries    uint64 `json:"deduped_queries"`
+	UniqueSubproblems uint64 `json:"unique_subproblems"`
+	TotalSubproblems  uint64 `json:"total_subproblems"`
+}
+
 type graphStatsResponse struct {
-	Source         string        `json:"source"`
-	Vertices       int           `json:"vertices"`
-	Edges          int           `json:"edges"`
-	IndexBuilt     bool          `json:"index_built"`
-	Queries        uint64        `json:"queries"`
-	BatchRequests  uint64        `json:"batch_requests"`
-	BatchedQueries uint64        `json:"batched_queries"`
-	Failures       uint64        `json:"failures"`
-	Cache          cacheResponse `json:"cache"`
+	Source         string          `json:"source"`
+	Vertices       int             `json:"vertices"`
+	Edges          int             `json:"edges"`
+	IndexBuilt     bool            `json:"index_built"`
+	Queries        uint64          `json:"queries"`
+	BatchRequests  uint64          `json:"batch_requests"`
+	BatchedQueries uint64          `json:"batched_queries"`
+	Failures       uint64          `json:"failures"`
+	Cache          cacheResponse   `json:"cache"`
+	Planner        plannerResponse `json:"planner"`
 }
 
 type engineStatsResponse struct {
@@ -348,6 +364,7 @@ type engineStatsResponse struct {
 	RejectedOverCost  uint64 `json:"rejected_over_cost"`
 	RejectedDraining  uint64 `json:"rejected_draining"`
 	CanceledWaiting   uint64 `json:"canceled_waiting"`
+	Repriced          uint64 `json:"repriced"`
 }
 
 func toResponse(r *netrel.Result) queryResponse {
@@ -375,6 +392,24 @@ func toCacheResponse(st netrel.CacheStats) cacheResponse {
 	return cacheResponse{Hits: st.Hits, Misses: st.Misses, Entries: st.Entries, Capacity: st.Capacity}
 }
 
+func toPlannerResponse(st netrel.PlanStats) plannerResponse {
+	// The counters are loaded independently, so a batch finishing between
+	// the Queries and Planned loads can make Planned momentarily exceed
+	// Queries; clamp rather than wrap.
+	deduped := uint64(0)
+	if st.Queries > st.Planned {
+		deduped = st.Queries - st.Planned
+	}
+	return plannerResponse{
+		Batches:           st.Batches,
+		Queries:           st.Queries,
+		Planned:           st.Planned,
+		DedupedQueries:    deduped,
+		UniqueSubproblems: st.UniqueSubproblems,
+		TotalSubproblems:  st.TotalSubproblems,
+	}
+}
+
 func (s *server) engineResponse() engineStatsResponse {
 	st := s.eng.Stats()
 	return engineStatsResponse{
@@ -389,6 +424,7 @@ func (s *server) engineResponse() engineStatsResponse {
 		RejectedOverCost:  st.RejectedOverCost,
 		RejectedDraining:  st.RejectedDraining,
 		CanceledWaiting:   st.CanceledWaiting,
+		Repriced:          st.Repriced,
 	}
 }
 
@@ -453,6 +489,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Edges:      info.Edges,
 			IndexBuilt: info.IndexBuilt,
 			Cache:      toCacheResponse(sess.CacheStats()),
+			Planner:    toPlannerResponse(sess.PlanStats()),
 		}
 		if c := s.countersFor(info.Name); c != nil {
 			g.Queries = c.queries.Load()
@@ -642,10 +679,14 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	c := s.countersFor(name)
 	before := sess.CacheStats()
+	planBefore := sess.PlanStats()
 	start := time.Now()
-	// Admission happens inside BatchReliabilityContext before any planning:
-	// an over-cost batch (queries × (samples + construction budget) > -maxcost) is rejected with an
-	// error naming the limit without touching the graph.
+	// Admission happens inside BatchReliabilityContext in two phases: the
+	// batch's planning cost (one unit per distinct terminal set) is checked
+	// against -maxcost before any planning, and the post-dedup solve cost —
+	// unique subproblems, never more than distinct terminal sets × (samples
+	// + construction budget) — directly after it. Either phase over the cap
+	// rejects the batch with an error naming the limit before any solving.
 	results, err := sess.BatchReliabilityContext(r.Context(), queries, opts...)
 	if err != nil {
 		if c != nil {
@@ -655,6 +696,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	after := sess.CacheStats()
+	planAfter := sess.PlanStats()
 	if c != nil {
 		c.batches.Add(1)
 		c.batchQs.Add(uint64(len(results)))
@@ -663,15 +705,24 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, r := range results {
 		out[i] = toResponse(r)
 	}
+	// Per-batch deltas overlap under concurrent requests, but they still
+	// show cache and planner effectiveness on a lightly loaded daemon. The
+	// planned delta can exceed this batch's query count when another batch
+	// lands inside the measurement window — clamp so the deduped count
+	// never wraps.
+	planned := planAfter.Planned - planBefore.Planned
+	if n := uint64(len(results)); planned > n {
+		planned = n
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"graph":       name,
-		"results":     out,
-		"duration_ms": float64(time.Since(start)) / float64(time.Millisecond),
-		// Hit/miss deltas overlap under concurrent requests, but they still
-		// show cache effectiveness per batch on a lightly loaded daemon.
-		"cache_hits":   after.Hits - before.Hits,
-		"cache_misses": after.Misses - before.Misses,
-		"cache":        toCacheResponse(after),
+		"graph":           name,
+		"results":         out,
+		"duration_ms":     float64(time.Since(start)) / float64(time.Millisecond),
+		"cache_hits":      after.Hits - before.Hits,
+		"cache_misses":    after.Misses - before.Misses,
+		"cache":           toCacheResponse(after),
+		"queries_planned": planned,
+		"queries_deduped": uint64(len(results)) - planned,
 	})
 }
 

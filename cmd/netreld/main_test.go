@@ -134,10 +134,12 @@ func TestExactQuery(t *testing.T) {
 func TestBatchEndpoint(t *testing.T) {
 	srv, ts := testServer(t)
 	var got struct {
-		Results     []queryResponse `json:"results"`
-		CacheHits   uint64          `json:"cache_hits"`
-		CacheMisses uint64          `json:"cache_misses"`
-		Cache       cacheResponse   `json:"cache"`
+		Results        []queryResponse `json:"results"`
+		CacheHits      uint64          `json:"cache_hits"`
+		CacheMisses    uint64          `json:"cache_misses"`
+		Cache          cacheResponse   `json:"cache"`
+		QueriesPlanned uint64          `json:"queries_planned"`
+		QueriesDeduped uint64          `json:"queries_deduped"`
 	}
 	body := `{"queries":[{"terminals":[0,2]},{"terminals":[1,3]},{"terminals":[0,2]}],"samples":2000,"seed":3}`
 	code := postJSON(t, ts.URL+"/v1/batch", body, &got)
@@ -146,6 +148,10 @@ func TestBatchEndpoint(t *testing.T) {
 	}
 	if len(got.Results) != 3 {
 		t.Fatalf("%d results, want 3", len(got.Results))
+	}
+	// Queries 0 and 2 share a terminal set: planned once, one deduped.
+	if got.QueriesPlanned != 2 || got.QueriesDeduped != 1 {
+		t.Fatalf("planned/deduped = %d/%d, want 2/1", got.QueriesPlanned, got.QueriesDeduped)
 	}
 	// Queries 0 and 2 are identical; the dedup must make them bit-equal.
 	if got.Results[0].Reliability != got.Results[2].Reliability {
@@ -214,6 +220,9 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if def.Cache.Capacity != 128 {
 		t.Fatalf("cache capacity %d", def.Cache.Capacity)
+	}
+	if def.Planner.Batches != 1 || def.Planner.Queries != 1 || def.Planner.Planned != 1 {
+		t.Fatalf("planner stats %+v, want 1 batch / 1 query / 1 planned", def.Planner)
 	}
 	if stats.Engine.Workers <= 0 {
 		t.Fatalf("engine workers %d", stats.Engine.Workers)
@@ -424,16 +433,19 @@ func TestRequestCostCaps(t *testing.T) {
 	}
 }
 
-// TestEngineCostCapRejectsBeforePlanning covers the engine-level cost cap:
-// a batch whose cost — queries × (samples + ⌈WorkFactor·samples⌉
-// construction budget) — exceeds -maxcost is rejected with a JSON error
-// naming the limit, before any planning happens.
-func TestEngineCostCapRejectsBeforePlanning(t *testing.T) {
+// TestEngineCostCapTwoPhase covers the engine-level cost cap on batches,
+// which is now checked in two phases: a cheap planning cost before any
+// planning, then the post-dedup solve cost — unique subproblems, not raw
+// query count — directly after it. Distinct over-cost batches get a JSON
+// 400 naming the limit; a batch of duplicates clears the same cap because
+// dedup collapses its solve cost.
+func TestEngineCostCapTwoPhase(t *testing.T) {
 	eng := netrel.NewEngine(netrel.EngineConfig{MaxCost: 5000})
 	t.Cleanup(eng.Close)
 	_, ts := newTestServer(t, eng, testDefaults())
 
-	// 3 queries × (2000 samples + 1000 construction) = 9000 > 5000.
+	// 3 distinct queries → 3 unique subproblems × (2000 samples + 1000
+	// construction) = 9000 > 5000: rejected after planning, naming the cap.
 	var got map[string]string
 	code := postJSON(t, ts.URL+"/v1/batch",
 		`{"queries":[{"terminals":[0,2]},{"terminals":[1,3]},{"terminals":[0,3]}],"samples":2000}`, &got)
@@ -443,7 +455,28 @@ func TestEngineCostCapRejectsBeforePlanning(t *testing.T) {
 	if !strings.Contains(got["error"], "5000") {
 		t.Fatalf("error %q does not name the cost limit", got["error"])
 	}
-	// Under the cap (1 × 3000 = 3000 ≤ 5000) it solves.
+	// The same number of queries all sharing one terminal set dedups to a
+	// single 3000-unit solve — under the cap the old queries × cost billing
+	// tripped.
+	var dedup struct {
+		QueriesPlanned uint64 `json:"queries_planned"`
+		QueriesDeduped uint64 `json:"queries_deduped"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/batch",
+		`{"queries":[{"terminals":[0,2]},{"terminals":[2,0]},{"terminals":[0,2]}],"samples":2000}`, &dedup); code != http.StatusOK {
+		t.Fatalf("deduplicated batch status %d, want 200", code)
+	}
+	if dedup.QueriesPlanned != 1 || dedup.QueriesDeduped != 2 {
+		t.Fatalf("planned/deduped = %d/%d, want 1/2", dedup.QueriesPlanned, dedup.QueriesDeduped)
+	}
+	st := eng.Stats()
+	if st.Repriced == 0 {
+		t.Fatal("no second-phase admissions recorded")
+	}
+	if st.RejectedOverCost != 1 {
+		t.Fatalf("rejected_over_cost = %d, want 1", st.RejectedOverCost)
+	}
+	// Under the cap (1 × 3000 = 3000 ≤ 5000) a single query still solves.
 	if code := postJSON(t, ts.URL+"/v1/batch",
 		`{"queries":[{"terminals":[0,2]}],"samples":2000}`, nil); code != http.StatusOK {
 		t.Fatalf("under-cost batch status %d", code)

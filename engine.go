@@ -45,11 +45,17 @@ type EngineConfig struct {
 	// MaxInFlight ≤ 0.
 	QueueDepth int
 	// MaxCost caps a single request's cost, measured in
-	// sample-draw-equivalent units: queries × (samples + the construction
-	// budget, ⌈WorkFactor·samples⌉ — construction effort is bounded by that
-	// multiple of the sampling cost, so it is billed like the extra draws
-	// it replaces). Over-cost requests fail with ErrOverCost before any
-	// planning. ≤0 disables the cap.
+	// sample-draw-equivalent units. A single query is billed samples + its
+	// construction budget (⌈WorkFactor·samples⌉ — construction effort is
+	// bounded by that multiple of the sampling cost, so it is billed like
+	// the extra draws it replaces) and over-cost queries fail with
+	// ErrOverCost before any planning. Batches admit in two phases: a small
+	// planning cost (one unit per distinct terminal set) checked before any
+	// planning, then the post-dedup solve cost — unique subproblems, not
+	// raw query count, capped at the distinct-terminal-set count so no
+	// batch is billed more than its queries issued one at a time —
+	// re-checked after planning, so heavily-shared batches are billed for
+	// the work they actually cause. ≤0 disables the cap.
 	MaxCost int64
 }
 
@@ -66,12 +72,16 @@ type EngineStats struct {
 	MaxInFlight, QueueCapacity int
 	// Admitted, RejectedQueueFull, RejectedOverCost, RejectedDraining and
 	// CanceledWaiting count admission outcomes since the engine was
-	// created.
+	// created. RejectedOverCost includes both admission phases: requests
+	// over the cap up front and batches repriced over it after planning.
 	Admitted          uint64
 	RejectedQueueFull uint64
 	RejectedOverCost  uint64
 	RejectedDraining  uint64
 	CanceledWaiting   uint64
+	// Repriced counts second-phase admission checks that passed: batches
+	// whose post-dedup solve cost was accepted after planning.
+	Repriced uint64
 }
 
 // Admission errors surfaced to servers: ErrQueueFull and ErrEngineDraining
@@ -126,6 +136,7 @@ func (e *Engine) Stats() EngineStats {
 		RejectedOverCost:  s.RejectedOverCost,
 		RejectedDraining:  s.RejectedDraining,
 		CanceledWaiting:   s.CanceledWaiting,
+		Repriced:          s.Repriced,
 	}
 }
 
@@ -157,6 +168,16 @@ func (e *Engine) admit(ctx context.Context, cost int64) (release func(), err err
 	return e.e.Admit(ctx, cost)
 }
 
+// reprice is the second phase of batch admission: re-check an admitted
+// request against the cost cap with its post-planning cost. The nil
+// (standalone) engine accepts everything.
+func (e *Engine) reprice(cost int64) error {
+	if e == nil {
+		return nil
+	}
+	return e.e.Reprice(cost)
+}
+
 // queryCost is the admission cost of a request in sample-draw-equivalent
 // units (one unit ≈ one completion draw ≈ |E| node-slot operations). Each
 // query is billed its sample budget plus its construction budget:
@@ -183,6 +204,39 @@ func queryCost(o options, queries int, exactOnly bool) int64 {
 		construction = 2 * int64(o.maxWidth)
 	}
 	return (int64(s) + construction) * int64(queries)
+}
+
+// planCost is the first-phase admission cost of a batch: one unit per
+// distinct terminal set. Planning a query is one preprocess pass over the
+// shared index — O(|E|) work, about what one completion draw costs — so a
+// batch's planning phase is billed like the handful of draws it resembles,
+// and only the second phase (see batchSolveCost) carries the real weight.
+func planCost(distinct int) int64 {
+	if distinct < 1 {
+		distinct = 1
+	}
+	return int64(distinct)
+}
+
+// batchSolveCost is the second-phase admission cost of a planned batch:
+// every unique post-dedup subproblem billed like one query's solve
+// (samples + construction budget), capped at the distinct-terminal-set
+// count — what the deduplicated batch actually solves like. The cap keeps
+// decomposition from ever making a batch dearer than its queries issued
+// one at a time (one query can decompose into many small subproblems, each
+// far cheaper than the per-query bound it would otherwise be billed at):
+// a batch of N duplicates of one decomposing query costs exactly what that
+// query costs alone, and distinct ≤ queries keeps every batch at or under
+// the old queries × per-query bound.
+func batchSolveCost(o options, uniqueJobs, distinct int) int64 {
+	n := uniqueJobs
+	if n > distinct {
+		n = distinct
+	}
+	if n < 1 {
+		return 0 // every query answered by preprocessing alone
+	}
+	return queryCost(o, n, false)
 }
 
 // samplingCost is the admission cost of the MC/HT possible-world baseline,

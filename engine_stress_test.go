@@ -232,7 +232,7 @@ func TestCancelledThenRetriedIsBitIdentical(t *testing.T) {
 
 // TestBatchCancellation covers the batch path: cancellation mid-batch
 // returns ctx's error, and the engine cost cap rejects oversized batches
-// before planning.
+// at the second admission phase (their post-dedup solve cost).
 func TestBatchCancellation(t *testing.T) {
 	g := denseRandomGraph(t, 40, 140, 11)
 	queries := []Query{
@@ -245,8 +245,10 @@ func TestBatchCancellation(t *testing.T) {
 	sess := NewSession(g)
 	sess.SetEngine(eng)
 
-	// 4 queries × (3000 samples + 1500 construction budget) = 18000 >
-	// 11999: rejected before planning.
+	// 4 distinct queries, one dense 2ECC each → 4 unique subproblems ×
+	// (3000 samples + 1500 construction budget) = 18000 > 11999: the batch
+	// passes the cheap planning phase, then the post-dedup solve cost is
+	// repriced over the cap.
 	if _, err := sess.BatchReliabilityContext(context.Background(), queries, stressOpts()...); !errors.Is(err, ErrOverCost) {
 		t.Fatalf("over-cost batch error = %v, want ErrOverCost", err)
 	}

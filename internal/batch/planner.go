@@ -1,0 +1,95 @@
+package batch
+
+import (
+	"context"
+	"sync/atomic"
+
+	"netrel/internal/preprocess"
+	"netrel/internal/sampling"
+)
+
+// TerminalDedup is the plan-level deduplication of a batch: queries grouped
+// by canonical terminal-set signature so each distinct terminal set is
+// planned exactly once and the resulting plan fans out to every query that
+// shares it. Dedup here is sound because all queries of a batch run against
+// the same graph and 2ECC index, so the (canonicalized) terminal set alone
+// determines the preprocessing outcome — and plans are bit-identical by
+// construction, since subproblem RNG seeds derive from canonical subproblem
+// signatures, never from a query's position in the batch.
+type TerminalDedup struct {
+	// Slot[q] is the distinct-plan slot of query q.
+	Slot []int
+	// First[q-index per slot]: First[d] is the first query planning slot d,
+	// in batch order — slots are numbered in first-use order, so iterating
+	// slots is deterministic and errors can be attributed to a concrete
+	// query.
+	First []int
+}
+
+// DedupTerminals groups queries by terminal-set signature. Slots appear in
+// first-use order, so the result depends only on the query list, never on
+// scheduling.
+func DedupTerminals(sigs []preprocess.Signature) *TerminalDedup {
+	td := &TerminalDedup{Slot: make([]int, len(sigs))}
+	index := make(map[preprocess.Signature]int, len(sigs))
+	for q, sig := range sigs {
+		d, ok := index[sig]
+		if !ok {
+			d = len(td.First)
+			index[sig] = d
+			td.First = append(td.First, q)
+		}
+		td.Slot[q] = d
+	}
+	return td
+}
+
+// Distinct returns the number of distinct plans (terminal sets) in the
+// batch.
+func (td *TerminalDedup) Distinct() int { return len(td.First) }
+
+// Deduped returns the number of queries answered by another query's plan.
+func (td *TerminalDedup) Deduped() int { return len(td.Slot) - len(td.First) }
+
+// PlanAll runs plan(d) for every distinct slot in [0, distinct),
+// chunk-parallel on the shared engine pool via sampling.ForEachChunkCtx:
+// the caller's goroutine always runs one slot and idle pool workers pick up
+// the rest, claiming plan indices from an atomic counter. Plans must write
+// their outputs into per-slot storage; because every plan's content depends
+// only on its slot (never on scheduling), the worker count changes how fast
+// the plans arrive, not what they say.
+//
+// Error handling mirrors the solve scheduler: once any plan fails,
+// remaining slots are skipped rather than planned into the void (which
+// slots were skipped is schedule-dependent, but only the error path can
+// observe that), and the recorded errors are folded in slot order — so the
+// error the batch reports is attributed deterministically to the
+// lowest-numbered failing slot among those that ran. Cancellation is
+// plan-granular: a cancelled ctx stops slot claiming and PlanAll returns
+// ctx.Err().
+func PlanAll(ctx context.Context, exec sampling.Executor, distinct, workers int, plan func(d int) error) error {
+	if distinct == 0 {
+		return ctx.Err()
+	}
+	errs := make([]error, distinct)
+	var failed atomic.Bool
+	if err := sampling.ForEachChunkCtx(ctx, exec, distinct, workers, func() func(int) {
+		return func(d int) {
+			if failed.Load() {
+				return
+			}
+			if err := plan(d); err != nil {
+				errs[d] = err
+				failed.Store(true)
+			}
+		}
+	}); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -33,6 +33,13 @@
 // oversized requests before any planning happens. Waiting is context-aware: a cancelled request leaves
 // the queue promptly, and Drain fails all current and future waiters so a
 // shutting-down server can 503 its queue while admitted work finishes.
+//
+// Requests whose true cost is only known after some cheap preparatory work
+// (batch planning: the post-dedup solve cost is a planning output) use
+// two-phase admission: Admit with the small preparatory cost first, then
+// Reprice with the real cost once it is known. Reprice re-checks only the
+// cost cap — the request keeps the admission token it already holds, so
+// the second phase can neither queue nor deadlock.
 package engine
 
 import (
@@ -72,8 +79,10 @@ type Config struct {
 	QueueDepth int
 	// MaxCost is the per-request cost cap in sample-draw-equivalent
 	// units; callers price each request with their own cost model (the
-	// netrel layer bills queries × (samples + construction budget), and
-	// the baselines their draw or node budgets). ≤0 disables the cap.
+	// netrel layer bills a single query samples + construction budget, a
+	// batch its planning cost at Admit and its post-dedup solve cost at
+	// Reprice, and the baselines their draw or node budgets). ≤0 disables
+	// the cap.
 	MaxCost int64
 }
 
@@ -91,11 +100,17 @@ type Stats struct {
 	MaxInFlight, QueueCapacity int
 	// Admitted, RejectedQueueFull, RejectedOverCost, RejectedDraining and
 	// CanceledWaiting count Admit outcomes since the engine was created.
+	// RejectedOverCost counts both phases of two-phase admission: requests
+	// whose declared cost failed the cap at Admit and requests repriced over
+	// it after planning.
 	Admitted          uint64
 	RejectedQueueFull uint64
 	RejectedOverCost  uint64
 	RejectedDraining  uint64
 	CanceledWaiting   uint64
+	// Repriced counts successful second-phase cost checks (Reprice calls
+	// that passed the cap).
+	Repriced uint64
 }
 
 // Engine is a shared worker pool plus admission controller. It is safe for
@@ -122,6 +137,7 @@ type Engine struct {
 	rejCost  atomic.Uint64
 	rejDrain atomic.Uint64
 	canceled atomic.Uint64
+	repriced atomic.Uint64
 }
 
 // New starts an engine with cfg's pool and admission limits. The pool
@@ -240,6 +256,24 @@ func (e *Engine) Admit(ctx context.Context, cost int64) (release func(), err err
 	}
 }
 
+// Reprice is the second phase of two-phase admission: it re-checks an
+// already-admitted request against the cost cap with its true cost, known
+// only after cheap preparatory work (e.g. the post-dedup solve cost of a
+// planned batch). The request keeps the admission token it holds either
+// way — Reprice never queues and never blocks — so the only failure is
+// ErrOverCost, after which the caller must abandon the request and call
+// its release function as usual. Callers that over-declared in phase one
+// may also reprice downward; the engine only ever compares against the
+// cap, it does not meter cost.
+func (e *Engine) Reprice(cost int64) error {
+	if e.maxCost > 0 && cost > e.maxCost {
+		e.rejCost.Add(1)
+		return fmt.Errorf("%w: post-planning cost %d > limit %d", ErrOverCost, cost, e.maxCost)
+	}
+	e.repriced.Add(1)
+	return nil
+}
+
 func (e *Engine) releaseFunc() func() {
 	var once sync.Once
 	return func() { once.Do(func() { e.inFlight.Add(-1) }) }
@@ -298,6 +332,7 @@ func (e *Engine) Stats() Stats {
 		RejectedOverCost:  e.rejCost.Load(),
 		RejectedDraining:  e.rejDrain.Load(),
 		CanceledWaiting:   e.canceled.Load(),
+		Repriced:          e.repriced.Load(),
 	}
 	if e.tokens != nil {
 		s.MaxInFlight = cap(e.tokens)

@@ -300,3 +300,46 @@ func TestForEachChunkCtxCancellation(t *testing.T) {
 		t.Fatal("cancellation did not stop chunk claiming early")
 	}
 }
+
+func TestRepriceTwoPhase(t *testing.T) {
+	e := New(Config{Workers: 1, MaxCost: 100})
+	defer e.Close()
+
+	// Phase one under the cap, phase two over it: the slot survives the
+	// failed reprice until the caller releases it.
+	release, err := e.Admit(context.Background(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Reprice(101); !errors.Is(err, ErrOverCost) {
+		t.Fatalf("over-cap reprice error = %v, want ErrOverCost", err)
+	}
+	if got := e.Stats().InFlight; got != 1 {
+		t.Fatalf("in-flight after failed reprice = %d, want 1 (caller still holds the slot)", got)
+	}
+	release()
+
+	// Under the cap (including repricing downward) it passes and counts.
+	release, err = e.Admit(context.Background(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Reprice(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Reprice(5); err != nil {
+		t.Fatal(err)
+	}
+	release()
+	st := e.Stats()
+	if st.Repriced != 2 || st.RejectedOverCost != 1 {
+		t.Fatalf("repriced/rejected = %d/%d, want 2/1", st.Repriced, st.RejectedOverCost)
+	}
+
+	// No cap: everything reprices.
+	free := New(Config{Workers: 1})
+	defer free.Close()
+	if err := free.Reprice(1 << 60); err != nil {
+		t.Fatal(err)
+	}
+}

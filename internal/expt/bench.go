@@ -52,6 +52,16 @@ type BenchReport struct {
 	// machine (GOMAXPROCS=1) both schedules degenerate to sequential and the
 	// ratio is ≈1.
 	ConstructionSpeedup float64 `json:"construction_speedup"`
+	// PlanSpeedup is sequential-ns / parallel-ns for the batch planning
+	// phase: a high-duplication batch re-run against a warm session cache
+	// (every solve is a cache hit, so re-planning the distinct terminal
+	// sets is the measured work), PlanWorkers 1 versus the full budget.
+	// Like ConstructionSpeedup it is ≈1 on a single-core machine by
+	// construction — the plan schedule is worker-neutral.
+	PlanSpeedup float64 `json:"plan_speedup"`
+	// PlanDedupFraction is 1 − distinct/total queries of that batch (the
+	// plan-level sharing the dedup removes before planning even starts).
+	PlanDedupFraction float64 `json:"plan_dedup_fraction"`
 }
 
 // benchRepetitions is the number of times each workload runs; the fastest
@@ -260,6 +270,49 @@ func BenchTrajectory(cfg Config) (*BenchReport, error) {
 		report.BatchSpeedup = float64(seq) / float64(bat)
 	}
 	report.SharedFraction = shared
+
+	// --- Parallel deduplicated batch planning. ---
+	// Reliability-maximization-style batches repeat near-identical terminal
+	// sets; this one repeats each distinct set 8×, so plan-level dedup cuts
+	// planning 8-fold before parallelism even starts. Warming the session
+	// cache first makes every solve a hit, leaving re-planning the distinct
+	// sets as the measured work; the cache fingerprint excludes worker
+	// knobs, so both runs stay warm.
+	const planDup = 8
+	planQueries := make([]netrel.Query, 0, planDup*len(queries))
+	for r := 0; r < planDup; r++ {
+		planQueries = append(planQueries, queries...)
+	}
+	planSess := netrel.NewSession(chain)
+	if _, err := planSess.BatchReliability(planQueries, batchOpts...); err != nil {
+		return nil, err
+	}
+	planRun := func(workers int) (time.Duration, error) {
+		opts := append(append([]netrel.Option{}, batchOpts...), netrel.WithPlanWorkers(workers))
+		return measure(benchRepetitions, func() error {
+			_, err := planSess.BatchReliability(planQueries, opts...)
+			return err
+		})
+	}
+	pseq, err := planRun(1)
+	if err != nil {
+		return nil, err
+	}
+	ppar, err := planRun(0) // 0 = inherit the full WithWorkers budget
+	if err != nil {
+		return nil, err
+	}
+	report.Rows = append(report.Rows,
+		BenchRow{Name: "plan/sequential", NsPerOp: float64(pseq.Nanoseconds()), Runs: benchRepetitions},
+		BenchRow{Name: "plan/parallel", NsPerOp: float64(ppar.Nanoseconds()), Runs: benchRepetitions},
+	)
+	if ppar > 0 {
+		report.PlanSpeedup = float64(pseq) / float64(ppar)
+	}
+	ps := planSess.PlanStats()
+	if ps.Queries > 0 {
+		report.PlanDedupFraction = 1 - float64(ps.Planned)/float64(ps.Queries)
+	}
 
 	// --- Concurrent serving throughput: bounded pool vs per-call spawning. ---
 	// The same independent-query stream at a fixed client concurrency, once

@@ -34,13 +34,21 @@ func TestBenchTrajectoryReport(t *testing.T) {
 	}
 	for _, want := range []string{"s2bdd/pipeline", "s2bdd/sampling-hot-path",
 		"construction/sequential", "construction/parallel",
-		"batch/sequential", "batch/batched", "serve/spawning", "serve/pooled"} {
+		"batch/sequential", "batch/batched", "plan/sequential", "plan/parallel",
+		"serve/spawning", "serve/pooled"} {
 		if !names[want] {
 			t.Fatalf("missing row %q (have %v)", want, names)
 		}
 	}
 	if report.ConstructionSpeedup <= 0 {
 		t.Fatalf("construction speedup %v", report.ConstructionSpeedup)
+	}
+	if report.PlanSpeedup <= 0 {
+		t.Fatalf("plan speedup %v", report.PlanSpeedup)
+	}
+	// The plan workload repeats each distinct terminal set 8×.
+	if report.PlanDedupFraction < 0.80 {
+		t.Fatalf("plan dedup fraction %v < 0.80", report.PlanDedupFraction)
 	}
 	if report.BatchSpeedup <= 0 {
 		t.Fatalf("batch speedup %v", report.BatchSpeedup)

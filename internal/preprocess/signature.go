@@ -30,31 +30,57 @@ type Signature struct {
 	Hi, Lo uint64
 }
 
-// Sign computes the canonical signature of (g, ts).
-func Sign(g *ugraph.Graph, ts ugraph.Terminals) Signature {
+// hashSig is the shared signature framing: it feeds every uint64 the
+// write callback emits into FNV-128a (little-endian) and folds the sum
+// into a Signature. Both signature domains derive through it, so the hash
+// and its framing can only ever evolve in lockstep.
+func hashSig(write func(put func(uint64))) Signature {
 	h := fnv.New128a()
 	var buf [8]byte
-	put := func(x uint64) {
+	write(func(x uint64) {
 		binary.LittleEndian.PutUint64(buf[:], x)
 		h.Write(buf[:])
-	}
-	put(uint64(g.N()))
-	put(uint64(g.M()))
-	for _, e := range g.Edges() {
-		put(uint64(e.U))
-		put(uint64(e.V))
-		put(math.Float64bits(e.P))
-	}
-	put(uint64(len(ts)))
-	for _, t := range ts {
-		put(uint64(t))
-	}
+	})
 	var sum [16]byte
 	s := h.Sum(sum[:0])
 	return Signature{
 		Hi: binary.BigEndian.Uint64(s[:8]),
 		Lo: binary.BigEndian.Uint64(s[8:]),
 	}
+}
+
+// Sign computes the canonical signature of (g, ts).
+func Sign(g *ugraph.Graph, ts ugraph.Terminals) Signature {
+	return hashSig(func(put func(uint64)) {
+		put(uint64(g.N()))
+		put(uint64(g.M()))
+		for _, e := range g.Edges() {
+			put(uint64(e.U))
+			put(uint64(e.V))
+			put(math.Float64bits(e.P))
+		}
+		put(uint64(len(ts)))
+		for _, t := range ts {
+			put(uint64(t))
+		}
+	})
+}
+
+// SignTerminals canonically identifies a terminal set for plan-level
+// deduplication. Within one batch every query shares the graph and its 2ECC
+// index, so the (sorted, deduplicated — ugraph.NewTerminals canonicalizes)
+// terminal set alone determines the whole preprocessing outcome: two queries
+// with equal terminal signatures produce byte-identical plans and can share
+// one planQuery run. The hash is domain-separated from Sign so a terminal
+// signature can never collide into a subproblem cache key by construction.
+func SignTerminals(ts ugraph.Terminals) Signature {
+	return hashSig(func(put func(uint64)) {
+		put(0x7465726d_7369676e) // "termsign" domain tag
+		put(uint64(len(ts)))
+		for _, t := range ts {
+			put(uint64(t))
+		}
+	})
 }
 
 // Less orders signatures lexicographically (a deterministic tie-break for

@@ -62,6 +62,7 @@ type options struct {
 	seed           uint64
 	workers        int
 	cworkers       int
+	pworkers       int
 	ordering       Ordering
 	noExtension    bool
 	noEarlyTerm    bool
@@ -159,6 +160,23 @@ func WithConstructionWorkers(n int) Option {
 	}
 }
 
+// WithPlanWorkers splits the WithWorkers budget for batch planning alone:
+// it bounds how many distinct terminal-set plans BatchReliability runs
+// concurrently on the engine pool, leaving solve-phase parallelism governed
+// by WithWorkers (and construction by WithConstructionWorkers). Values ≤ 0
+// (the default) inherit WithWorkers. Like the other worker knobs it never
+// changes results — each distinct terminal set is planned exactly once,
+// plan contents depend only on the terminal set, and plans fold in
+// deterministic query order — so it exists for benchmarking the planning
+// speedup and for capping plan-phase threads on loaded machines. Ignored
+// outside BatchReliability (a single query has exactly one plan).
+func WithPlanWorkers(n int) Option {
+	return func(o *options) error {
+		o.pworkers = n
+		return nil
+	}
+}
+
 // WithOrdering selects the edge processing order (default BFS).
 func WithOrdering(ord Ordering) Option {
 	return func(o *options) error {
@@ -236,11 +254,12 @@ func buildOptions(opts []Option) (options, error) {
 }
 
 // fingerprint condenses every option that can change a subproblem's solved
-// result into one cache-key component. The worker counts (WithWorkers and
-// WithConstructionWorkers) are deliberately excluded — the parallel
-// schedules are worker-count independent, so results are too — as is the
-// BDD baseline's node budget, which the pipeline never reads. exactOnly
-// distinguishes Exact from Reliability runs over the same option set.
+// result into one cache-key component. The worker counts (WithWorkers,
+// WithConstructionWorkers and WithPlanWorkers) are deliberately excluded —
+// the parallel schedules are worker-count independent, so results are too —
+// as is the BDD baseline's node budget, which the pipeline never reads.
+// exactOnly distinguishes Exact from Reliability runs over the same option
+// set.
 func (o *options) fingerprint(exactOnly bool) uint64 {
 	b2u := func(b bool) uint64 {
 		if b {

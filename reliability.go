@@ -21,9 +21,10 @@
 //
 // For many queries against one graph, build a Session: it precomputes the
 // 2ECC index once and caches solved subproblem results, and its
-// BatchReliability answers whole query batches by deduplicating the
-// decomposed subproblems across queries — bit-identical to querying one at
-// a time, since every subproblem's random stream derives from a canonical
+// BatchReliability answers whole query batches by planning each distinct
+// terminal set once (in parallel) and deduplicating the decomposed
+// subproblems across queries — bit-identical to querying one at a time,
+// since every subproblem's random stream derives from a canonical
 // signature of what is being solved:
 //
 //	s := netrel.NewSession(g)
@@ -386,7 +387,10 @@ func solveJobs(ctx context.Context, exec sampling.Executor, jobs []pipelineJob, 
 // combined in job order, so the product — like everything else governed by
 // WithWorkers — is bit-identical for every worker count and for every way
 // the subproblems were scheduled (sequentially, batched, or from cache).
-func combineResults(out *Result, results []core.Result, factor xfloat.F, start time.Time) *Result {
+// Duration is the caller's to set: the sequential path reports plan+solve
+// wall-clock of the one query, the batch path each query's own plan
+// duration plus the shared solve phase — never other queries' planning.
+func combineResults(out *Result, results []core.Result, factor xfloat.F) *Result {
 	estX := factor
 	lowX := factor
 	upX := factor
@@ -415,7 +419,6 @@ func combineResults(out *Result, results []core.Result, factor xfloat.F, start t
 	if !allExact {
 		out.Variance = productVariance(factor.Clamp01().Float64(), rhats, varianceTerms)
 	}
-	out.Duration = time.Since(start)
 	return out
 }
 
@@ -425,7 +428,9 @@ func finishPipeline(ctx context.Context, exec sampling.Executor, p *queryPlan, o
 	if err != nil {
 		return nil, err
 	}
-	return combineResults(p.out, results, p.factor, p.start), nil
+	out := combineResults(p.out, results, p.factor)
+	out.Duration = time.Since(p.start)
+	return out, nil
 }
 
 // productVariance propagates per-factor variances through the product

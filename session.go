@@ -51,6 +51,13 @@ type Session struct {
 	idxOnce  sync.Once
 	idx      *preprocess.Index
 	idxBuilt atomic.Bool
+
+	// Batch planner counters (see PlanStats).
+	planBatches atomic.Uint64
+	planQueries atomic.Uint64
+	planPlanned atomic.Uint64
+	planUnique  atomic.Uint64
+	planTotal   atomic.Uint64
 }
 
 // NewSession builds the topology index for g eagerly and returns a query
@@ -72,13 +79,30 @@ func newLazySession(g *Graph, eng *Engine) *Session {
 	}
 }
 
-// index returns the 2ECC index, building it on first use.
+// index returns the 2ECC index, building it on first use. The build is
+// shared via sync.Once: whichever query arrives first constructs the index
+// for everyone, and concurrent queries block until it is ready.
 func (s *Session) index() *preprocess.Index {
 	s.idxOnce.Do(func() {
 		s.idx = preprocess.BuildIndex(s.g.internal())
 		s.idxBuilt.Store(true)
 	})
 	return s.idx
+}
+
+// indexContext is the query-path entry to the lazy index: it refuses to
+// start (or join) the build under an already-cancelled ctx, so a cancelled
+// first query on a lazily-registered graph releases its admission slot
+// without paying for index construction. The check is before the Once, not
+// inside it — the build itself must stay cancellation-free, because it is
+// shared: a co-waiter whose ctx dies mid-build merely returns early on its
+// next ctx check, while the builder's completed index remains usable by
+// every later query.
+func (s *Session) indexContext(ctx context.Context) (*preprocess.Index, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.index(), nil
 }
 
 // IndexBuilt reports whether the 2ECC index has been constructed yet
@@ -110,6 +134,36 @@ func (s *Session) SetCacheCapacity(n int) {
 func (s *Session) CacheStats() CacheStats {
 	st := s.cache.Stats()
 	return CacheStats{Hits: st.Hits, Misses: st.Misses, Entries: st.Entries, Capacity: st.Capacity}
+}
+
+// PlanStats reports the batch planner's dedup effectiveness: how many
+// queries arrived in batches, how many distinct terminal sets were actually
+// planned (duplicates share one plan), and how far subproblem-level dedup
+// compressed the solve schedule on top of that. Counters cover every
+// BatchReliability call whose planning phase completed, whether or not the
+// solve phase later succeeded.
+type PlanStats struct {
+	// Batches counts BatchReliability calls that reached planning; Queries
+	// the queries they contained.
+	Batches, Queries uint64
+	// Planned counts distinct terminal sets planned — Queries − Planned
+	// queries were answered by another query's plan.
+	Planned uint64
+	// UniqueSubproblems and TotalSubproblems count the post-dedup solve
+	// schedule versus the job references across all queries (what a
+	// sequential per-query runner would solve).
+	UniqueSubproblems, TotalSubproblems uint64
+}
+
+// PlanStats reports batch planning and dedup counters for this session.
+func (s *Session) PlanStats() PlanStats {
+	return PlanStats{
+		Batches:           s.planBatches.Load(),
+		Queries:           s.planQueries.Load(),
+		Planned:           s.planPlanned.Load(),
+		UniqueSubproblems: s.planUnique.Load(),
+		TotalSubproblems:  s.planTotal.Load(),
+	}
 }
 
 // CacheStats reports session result-cache effectiveness.
@@ -144,7 +198,11 @@ func (s *Session) ReliabilityContext(ctx context.Context, terminals []int, opts 
 		return nil, err
 	}
 	defer release()
-	return runWithIndex(ctx, s.eng.exec(), s.g, terminals, o, false, s.index(), s.cache)
+	idx, err := s.indexContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return runWithIndex(ctx, s.eng.exec(), s.g, terminals, o, false, idx, s.cache)
 }
 
 // Exact runs the exact pipeline like the package-level Exact, reusing the
@@ -165,7 +223,11 @@ func (s *Session) ExactContext(ctx context.Context, terminals []int, opts ...Opt
 		return nil, err
 	}
 	defer release()
-	return runWithIndex(ctx, s.eng.exec(), s.g, terminals, o, true, s.index(), s.cache)
+	idx, err := s.indexContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return runWithIndex(ctx, s.eng.exec(), s.g, terminals, o, true, idx, s.cache)
 }
 
 // run executes the Algorithm 1 pipeline for the package-level entry
@@ -183,12 +245,29 @@ func run(ctx context.Context, g *Graph, terminals []int, o options, exactOnly bo
 // queryPlan is one query after preprocessing: the jobs still to solve, the
 // exactly-factored bridge product, and the partially-filled result. done
 // marks queries fully answered by preprocessing (disconnected terminals).
+// In a batch, one queryPlan may be shared by every query with the same
+// terminal set — sharers clone out (see cloneOut) before combining, and
+// planDur records the plan's own wall-clock so a query's Duration never
+// includes other queries' planning.
 type queryPlan struct {
-	out    *Result
-	factor xfloat.F
-	jobs   []pipelineJob
-	done   bool
-	start  time.Time
+	out     *Result
+	factor  xfloat.F
+	jobs    []pipelineJob
+	done    bool
+	start   time.Time
+	planDur time.Duration
+}
+
+// cloneOut returns an independent copy of the plan's partial result, so
+// queries fanned out from one deduplicated plan never alias Result or
+// PreprocessStats storage.
+func (p *queryPlan) cloneOut() *Result {
+	out := *p.out
+	if p.out.Preprocess != nil {
+		pp := *p.out.Preprocess
+		out.Preprocess = &pp
+	}
+	return &out
 }
 
 // planQuery validates terminals and runs preprocessing, producing the
@@ -203,6 +282,14 @@ func planQuery(ctx context.Context, g *Graph, terminals []int, o options, idx *p
 	if err != nil {
 		return nil, err
 	}
+	return planTerminals(ctx, g, ts, o, idx)
+}
+
+// planTerminals is planQuery over an already-canonicalized terminal set —
+// the form the batch planner calls after deduplicating terminal sets, since
+// plan contents depend only on (graph, terminal set, options), never on
+// which query asked.
+func planTerminals(ctx context.Context, g *Graph, ts ugraph.Terminals, o options, idx *preprocess.Index) (*queryPlan, error) {
 	start := time.Now()
 	p := &queryPlan{
 		out:    &Result{SamplesRequested: o.samples},
@@ -216,6 +303,7 @@ func planQuery(ctx context.Context, g *Graph, terminals []int, o options, idx *p
 			ts:  ts,
 			sig: preprocess.Sign(g.internal(), ts),
 		})
+		p.planDur = time.Since(start)
 		return p, nil
 	}
 
@@ -237,14 +325,16 @@ func planQuery(ctx context.Context, g *Graph, terminals []int, o options, idx *p
 	if prep.Disconnected {
 		p.out.Exact = true
 		p.out.Log10 = math.Inf(-1)
-		p.out.Duration = time.Since(start)
 		p.done = true
+		p.planDur = time.Since(start)
+		p.out.Duration = p.planDur
 		return p, nil
 	}
 	p.factor = prep.PB
 	for _, sub := range prep.Subproblems {
 		p.jobs = append(p.jobs, pipelineJob{g: sub.G, ts: sub.Terminals, sig: sub.Sig})
 	}
+	p.planDur = time.Since(start)
 	return p, nil
 }
 

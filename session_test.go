@@ -1,6 +1,8 @@
 package netrel
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
 )
@@ -131,4 +133,60 @@ func BenchmarkSessionReuseVsRebuild(b *testing.B) {
 			}
 		}
 	})
+}
+
+// TestLazyIndexBuildCancellation is the lazy-index satellite: a cancelled
+// first query on a lazily-registered graph must return before paying for
+// 2ECC index construction, the build must remain shared (later queries
+// construct it once and succeed), and a cancelled query arriving after the
+// build must still find the index usable on retry.
+func TestLazyIndexBuildCancellation(t *testing.T) {
+	g := blockChainGraph(t, 3, 8, 29)
+	reg := NewRegistry(nil)
+	if err := reg.Register("lazy", "test", g); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := reg.Session("lazy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Standalone mode admits without a ctx check, so the first ctx gate a
+	// cancelled query can hit is the one guarding the index build itself.
+	sess.SetEngine(nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sess.ReliabilityContext(ctx, []int{0, 23}, WithSamples(100)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled first query error = %v, want context.Canceled", err)
+	}
+	if sess.IndexBuilt() {
+		t.Fatal("cancelled query paid for the index build")
+	}
+	if _, err := sess.BatchReliabilityContext(ctx, []Query{{Terminals: []int{0, 23}}}, WithSamples(100)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled batch error = %v, want context.Canceled", err)
+	}
+	if sess.IndexBuilt() {
+		t.Fatal("cancelled batch paid for the index build")
+	}
+
+	// A live query builds the shared index exactly once and succeeds.
+	res, err := sess.Reliability([]int{0, 23}, WithSamples(100), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sess.IndexBuilt() {
+		t.Fatal("index not built by the first successful query")
+	}
+	// A cancelled co-user after the build must not poison it: the retry
+	// sees the same usable index and answers bit-identically.
+	if _, err := sess.ReliabilityContext(ctx, []int{0, 23}, WithSamples(100), WithSeed(1)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled query after build error = %v", err)
+	}
+	again, err := sess.Reliability([]int{0, 23}, WithSamples(100), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reliability != again.Reliability {
+		t.Fatal("index became unusable after a cancelled co-user")
+	}
 }
