@@ -8,35 +8,39 @@ import (
 	"netrel/internal/batch"
 	"netrel/internal/core"
 	"netrel/internal/preprocess"
-	"netrel/internal/ugraph"
 )
 
-// Query is one reliability query in a batch: a terminal set over the
-// session's graph.
-type Query struct {
-	// Terminals is the terminal vertex set (at least one vertex).
-	Terminals []int
-}
+// Query is one reliability query in a batch. It is the QuerySpec shape
+// itself: a zero-Mode Query that sets only Terminals keeps its historical
+// terminal-set meaning, and conditional queries additionally set Mode and
+// Evidence. ModeTopK specs are rejected — a top-k query yields a ranking,
+// not one Result — so they are served by Session.TopKReliable, which itself
+// expands into a batch of these.
+type Query = QuerySpec
 
 // BatchReliability answers many reliability queries over the session's
-// graph in one pass. Queries are first deduplicated by canonical terminal
-// set — every distinct set is planned (preprocessed against the shared 2ECC
-// index) exactly once, chunk-parallel on the engine pool under the
-// WithPlanWorkers budget, and the plan fans out to all queries that share
-// it. The decomposed subproblems of the distinct plans are then
-// deduplicated by canonical signature, solved exactly once each —
-// largest-first across the WithWorkers budget, consulting the session
-// result cache — and every query's answer is recombined from the shared
-// solutions.
+// graph in one pass. Queries may mix terminal-set and conditional modes
+// freely; they are first deduplicated by canonical spec signature (mode,
+// terminal set, evidence) — every distinct spec is planned exactly once,
+// chunk-parallel on the engine pool under the WithPlanWorkers budget, and
+// the plan fans out to all queries that share it. Terminal-set specs plan
+// against the shared 2ECC index; conditional specs plan their conditioned
+// graph from scratch (the base graph's index does not describe it). The
+// decomposed subproblems of the distinct plans are then deduplicated by
+// canonical signature, solved exactly once each — largest-first across the
+// WithWorkers budget, consulting the session result cache — and every
+// query's answer is recombined from the shared solutions.
 //
 // Results are bit-identical to issuing each query alone through
-// Session.Reliability with the same options: subproblem RNG seeds derive
-// from canonical signatures, never from a query's position in the batch, so
+// Session.Solve with the same options: subproblem RNG seeds derive from
+// canonical signatures, never from a query's position in the batch, so
 // neither level of deduplication (nor any worker count) is visible in the
 // output. Queries that share no structure cost the same as sequential
 // calls; workloads whose terminal sets repeat or cross the same 2ECC chains
-// (reliability maximization, s-t comparison sweeps) skip the bulk of both
-// planning and solving. PlanStats reports the dedup's effectiveness.
+// (reliability maximization, s-t comparison sweeps, top-k candidate scans)
+// skip the bulk of both planning and solving — including across modes,
+// whenever a conditioned subproblem happens to coincide with an
+// unconditioned one. PlanStats reports the dedup's effectiveness.
 //
 // The returned slice has one Result per query, in query order (an empty
 // batch yields an empty, non-nil slice). Each Result's Duration is that
@@ -52,11 +56,11 @@ func (s *Session) BatchReliability(queries []Query, opts ...Option) ([]*Result, 
 // BatchReliabilityContext is BatchReliability with cancellation and
 // admission. The batch is one admission unit admitted in two phases (see
 // EngineConfig.MaxCost): first at its planning cost — one
-// sample-draw-equivalent unit per distinct terminal set, checked against
+// sample-draw-equivalent unit per distinct spec, checked against
 // MaxCost before any planning and queued like a single query when the
 // engine is saturated — then, with the admission slot still held, repriced
 // at the post-dedup solve cost: unique subproblems (capped at the
-// distinct-terminal-set count, so N duplicates of one query cost what the
+// distinct-spec count, so N duplicates of one query cost what the
 // query costs alone), not raw query count. Heavily-shared batches
 // are therefore billed for the work they actually cause instead of
 // tripping MaxCost limits sized for unshared traffic; an over-cost batch
@@ -77,20 +81,25 @@ func (s *Session) BatchReliabilityContext(ctx context.Context, queries []Query, 
 		return []*Result{}, nil
 	}
 
-	// Canonicalize every terminal set up front — cheap, needed for
-	// plan-level dedup, and it fails invalid queries (naming the offender)
-	// before the batch occupies an admission slot.
-	termSets := make([]ugraph.Terminals, len(queries))
+	// Resolve every spec up front — validation plus canonicalization is
+	// cheap (conditioning is one O(|E|) graph rewrite), it is what
+	// plan-level dedup keys on, and it fails invalid queries (naming the
+	// offender) before the batch occupies an admission slot.
+	specs := make([]*resolvedSpec, len(queries))
 	sigs := make([]preprocess.Signature, len(queries))
+	needIdx := false
 	for i, q := range queries {
-		ts, err := ugraph.NewTerminals(s.g.internal(), q.Terminals)
+		rs, err := resolveSpec(s.g, q)
 		if err != nil {
 			return nil, fmt.Errorf("netrel: batch query %d: %w", i, err)
 		}
-		termSets[i] = ts
-		sigs[i] = preprocess.SignTerminals(ts)
+		specs[i] = rs
+		sigs[i] = rs.planSig
+		if !rs.conditioned {
+			needIdx = true
+		}
 	}
-	dd := batch.DedupTerminals(sigs)
+	dd := batch.DedupSpecs(sigs)
 
 	// Admission phase 1: the planning cost.
 	release, err := s.eng.admit(ctx, planCost(dd.Distinct()))
@@ -98,22 +107,30 @@ func (s *Session) BatchReliabilityContext(ctx context.Context, queries []Query, 
 		return nil, err
 	}
 	defer release()
-	idx, err := s.indexContext(ctx)
-	if err != nil {
+	// The shared 2ECC index describes the base graph only, so it is built
+	// (or fetched) only when some spec actually runs on the base graph.
+	var idx *preprocess.Index
+	if needIdx {
+		idx, err = s.indexContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+	} else if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
-	// Plan each distinct terminal set exactly once, chunk-parallel on
-	// engine-pool slots. Plans land in per-slot storage; their contents
-	// depend only on the terminal set, so the worker count never changes
-	// them, and errors are attributed to the first query using the slot.
+	// Plan each distinct spec exactly once, chunk-parallel on engine-pool
+	// slots. Plans land in per-slot storage; their contents depend only on
+	// the resolved spec, so the worker count never changes them, and errors
+	// are attributed to the first query using the slot.
 	plans := make([]*queryPlan, dd.Distinct())
 	planWorkers := o.pworkers
 	if planWorkers <= 0 {
 		planWorkers = o.workers
 	}
 	if err := batch.PlanAll(ctx, s.eng.exec(), dd.Distinct(), planWorkers, func(d int) error {
-		p, err := planTerminals(ctx, s.g, termSets[dd.First[d]], o, idx)
+		rs := specs[dd.First[d]]
+		p, err := planTerminals(ctx, rs.g, rs.ts, o, rs.planIndex(idx))
 		if err != nil {
 			return fmt.Errorf("netrel: batch query %d: %w", dd.First[d], err)
 		}

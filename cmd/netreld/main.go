@@ -28,6 +28,14 @@
 //	DELETE /v1/graphs/{name}   evict a graph
 //	POST   /v1/reliability     {"graph":"g2","terminals":[0,5],"samples":10000}
 //	POST   /v1/batch           {"queries":[{"terminals":[0,5]},...],"samples":1000}
+//	POST   /v1/topk            {"terminals":[0],"k":3,"evidence":[{"edge":2,"up":true}]}
+//
+// Queries are mode-polymorphic: a query's "mode" is "terminal-set" (the
+// default), "conditional" — terminal-set reliability given "evidence", a
+// list of {"edge","up"} edge observations — or, on /v1/topk only, "topk".
+// Batches may mix terminal-set and conditional queries. Terminal and
+// evidence indices are validated up front; an out-of-range index fails the
+// request with a 400 naming the offending index and the query's mode.
 //
 // The "graph" field defaults to "default". Every response is JSON; results
 // are deterministic per seed regardless of concurrency, pool size, or
@@ -189,12 +197,30 @@ type defaults struct {
 	cacheCap   int
 }
 
-// graphCounters tracks per-graph request outcomes.
+// graphCounters tracks per-graph request outcomes, including how many
+// queries of each mode were answered (topk counts one per ranking request,
+// not per candidate it expanded into).
 type graphCounters struct {
 	queries  atomic.Uint64 // single queries answered
 	batches  atomic.Uint64 // batch requests answered
 	batchQs  atomic.Uint64 // queries answered inside batches
 	failures atomic.Uint64
+
+	modeTerminalSet atomic.Uint64
+	modeConditional atomic.Uint64
+	modeTopK        atomic.Uint64
+}
+
+// countMode attributes n answered queries to their mode.
+func (c *graphCounters) countMode(m netrel.QueryMode, n uint64) {
+	switch m {
+	case netrel.ModeConditional:
+		c.modeConditional.Add(n)
+	case netrel.ModeTopK:
+		c.modeTopK.Add(n)
+	default:
+		c.modeTerminalSet.Add(n)
+	}
 }
 
 // server owns the registry, the engine, and the per-graph counters.
@@ -267,33 +293,59 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleEvictGraph)
 	mux.HandleFunc("POST /v1/reliability", s.handleReliability)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/topk", s.handleTopK)
 	return mux
+}
+
+// evidenceJSON is one edge observation of a conditional (or conditioned
+// top-k) query: edge index in graph edge order, observed up or down.
+type evidenceJSON struct {
+	Edge int  `json:"edge"`
+	Up   bool `json:"up"`
 }
 
 // queryRequest is the JSON body of a single reliability query; zero-valued
 // option fields fall back to the daemon defaults, a missing graph to
-// "default".
+// "default", a missing mode to "terminal-set".
 type queryRequest struct {
-	Graph     string `json:"graph,omitempty"`
-	Terminals []int  `json:"terminals"`
-	Samples   int    `json:"samples,omitempty"`
-	Width     int    `json:"width,omitempty"`
-	Seed      uint64 `json:"seed,omitempty"`
-	Workers   int    `json:"workers,omitempty"`
-	Estimator string `json:"estimator,omitempty"` // "mc" (default) or "ht"
-	Exact     bool   `json:"exact,omitempty"`
+	Graph     string         `json:"graph,omitempty"`
+	Mode      string         `json:"mode,omitempty"` // "terminal-set" (default) or "conditional"
+	Terminals []int          `json:"terminals"`
+	Evidence  []evidenceJSON `json:"evidence,omitempty"`
+	Samples   int            `json:"samples,omitempty"`
+	Width     int            `json:"width,omitempty"`
+	Seed      uint64         `json:"seed,omitempty"`
+	Workers   int            `json:"workers,omitempty"`
+	Estimator string         `json:"estimator,omitempty"` // "mc" (default) or "ht"
+	Exact     bool           `json:"exact,omitempty"`
 }
 
 type batchRequest struct {
 	Graph   string `json:"graph,omitempty"`
 	Queries []struct {
-		Terminals []int `json:"terminals"`
+		Mode      string         `json:"mode,omitempty"`
+		Terminals []int          `json:"terminals"`
+		Evidence  []evidenceJSON `json:"evidence,omitempty"`
 	} `json:"queries"`
 	Samples   int    `json:"samples,omitempty"`
 	Width     int    `json:"width,omitempty"`
 	Seed      uint64 `json:"seed,omitempty"`
 	Workers   int    `json:"workers,omitempty"`
 	Estimator string `json:"estimator,omitempty"`
+}
+
+// topkRequest ranks the k most reliable extension vertices of a base
+// terminal set, optionally conditioned on evidence.
+type topkRequest struct {
+	Graph     string         `json:"graph,omitempty"`
+	Terminals []int          `json:"terminals"`
+	K         int            `json:"k"`
+	Evidence  []evidenceJSON `json:"evidence,omitempty"`
+	Samples   int            `json:"samples,omitempty"`
+	Width     int            `json:"width,omitempty"`
+	Seed      uint64         `json:"seed,omitempty"`
+	Workers   int            `json:"workers,omitempty"`
+	Estimator string         `json:"estimator,omitempty"`
 }
 
 // registerRequest registers a new graph: either inline TSV content or a
@@ -339,6 +391,14 @@ type plannerResponse struct {
 	TotalSubproblems  uint64 `json:"total_subproblems"`
 }
 
+// modesResponse counts answered queries by mode (a topk request counts
+// once, regardless of how many candidates it scanned).
+type modesResponse struct {
+	TerminalSet uint64 `json:"terminal_set"`
+	Conditional uint64 `json:"conditional"`
+	TopK        uint64 `json:"topk"`
+}
+
 type graphStatsResponse struct {
 	Source         string          `json:"source"`
 	Vertices       int             `json:"vertices"`
@@ -348,6 +408,7 @@ type graphStatsResponse struct {
 	BatchRequests  uint64          `json:"batch_requests"`
 	BatchedQueries uint64          `json:"batched_queries"`
 	Failures       uint64          `json:"failures"`
+	Modes          modesResponse   `json:"modes"`
 	Cache          cacheResponse   `json:"cache"`
 	Planner        plannerResponse `json:"planner"`
 }
@@ -470,6 +531,60 @@ func (s *server) options(samples, width int, seed uint64, workers int, estimator
 	return opts, nil
 }
 
+// parseMode maps the wire mode name to a QueryMode. "topk" is only valid
+// where allowTopK (the /v1/topk endpoint) — elsewhere the caller is pointed
+// there.
+func parseMode(mode string, allowTopK bool) (netrel.QueryMode, error) {
+	switch mode {
+	case "", "terminal-set":
+		return netrel.ModeTerminalSet, nil
+	case "conditional":
+		return netrel.ModeConditional, nil
+	case "topk":
+		if allowTopK {
+			return netrel.ModeTopK, nil
+		}
+		return 0, errors.New(`mode "topk" returns a ranking; POST it to /v1/topk`)
+	default:
+		return 0, fmt.Errorf("unknown mode %q (want \"terminal-set\", \"conditional\" or \"topk\")", mode)
+	}
+}
+
+// validateSpec checks a query's terminal and evidence indices against the
+// graph before the request occupies an admission slot, so an out-of-range
+// index fails fast with a message naming the offending index and the query's
+// mode (the library would reject it too, but later and less specifically).
+func validateSpec(g *netrel.Graph, mode netrel.QueryMode, terminals []int, evidence []evidenceJSON) error {
+	if len(terminals) == 0 {
+		return fmt.Errorf("%v query needs at least one terminal", mode)
+	}
+	for i, t := range terminals {
+		if t < 0 || t >= g.N() {
+			return fmt.Errorf("%v query: terminals[%d] = %d out of range [0,%d)", mode, i, t, g.N())
+		}
+	}
+	if len(evidence) > 0 && mode != netrel.ModeConditional && mode != netrel.ModeTopK {
+		return fmt.Errorf(`%v query cannot carry evidence (use mode "conditional")`, mode)
+	}
+	for i, ev := range evidence {
+		if ev.Edge < 0 || ev.Edge >= g.M() {
+			return fmt.Errorf("%v query: evidence[%d].edge = %d out of range [0,%d)", mode, i, ev.Edge, g.M())
+		}
+	}
+	return nil
+}
+
+func toEvidence(evidence []evidenceJSON) []netrel.EdgeObservation {
+	if len(evidence) == 0 {
+		return nil
+	}
+	obs := make([]netrel.EdgeObservation, len(evidence))
+	for i, ev := range evidence {
+		obs[i] = netrel.EdgeObservation{Edge: ev.Edge, Up: ev.Up}
+	}
+	return obs
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
@@ -478,6 +593,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	graphs := make(map[string]graphStatsResponse)
 	var totalQueries, totalBatches, totalBatchQs, totalFailures uint64
+	var totalModes modesResponse
 	for _, info := range s.reg.List() {
 		sess, err := s.reg.Session(info.Name)
 		if err != nil {
@@ -496,11 +612,19 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			g.BatchRequests = c.batches.Load()
 			g.BatchedQueries = c.batchQs.Load()
 			g.Failures = c.failures.Load()
+			g.Modes = modesResponse{
+				TerminalSet: c.modeTerminalSet.Load(),
+				Conditional: c.modeConditional.Load(),
+				TopK:        c.modeTopK.Load(),
+			}
 		}
 		totalQueries += g.Queries
 		totalBatches += g.BatchRequests
 		totalBatchQs += g.BatchedQueries
 		totalFailures += g.Failures
+		totalModes.TerminalSet += g.Modes.TerminalSet
+		totalModes.Conditional += g.Modes.Conditional
+		totalModes.TopK += g.Modes.TopK
 		graphs[info.Name] = g
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -511,6 +635,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"batch_requests":  totalBatches,
 		"batched_queries": totalBatchQs,
 		"failures":        totalFailures,
+		"modes":           totalModes,
 	})
 }
 
@@ -617,17 +742,27 @@ func (s *server) handleReliability(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
+	mode, err := parseMode(req.Mode, false)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := validateSpec(sess.Graph(), mode, req.Terminals, req.Evidence); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	opts, err := s.options(req.Samples, req.Width, req.Seed, req.Workers, req.Estimator)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	spec := netrel.QuerySpec{Mode: mode, Terminals: req.Terminals, Evidence: toEvidence(req.Evidence)}
 	c := s.countersFor(name)
 	var res *netrel.Result
 	if req.Exact {
-		res, err = sess.ExactContext(r.Context(), req.Terminals, opts...)
+		res, err = sess.SolveExactContext(r.Context(), spec, opts...)
 	} else {
-		res, err = sess.ReliabilityContext(r.Context(), req.Terminals, opts...)
+		res, err = sess.SolveContext(r.Context(), spec, opts...)
 	}
 	if err != nil {
 		if c != nil {
@@ -638,9 +773,11 @@ func (s *server) handleReliability(w http.ResponseWriter, r *http.Request) {
 	}
 	if c != nil {
 		c.queries.Add(1)
+		c.countMode(mode, 1)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"graph":  name,
+		"mode":   mode.String(),
 		"result": toResponse(res),
 		"cache":  toCacheResponse(sess.CacheStats()),
 	})
@@ -674,8 +811,19 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	queries := make([]netrel.Query, len(req.Queries))
+	modes := make([]netrel.QueryMode, len(req.Queries))
 	for i, q := range req.Queries {
-		queries[i] = netrel.Query{Terminals: q.Terminals}
+		mode, err := parseMode(q.Mode, false)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("query %d: %w", i, err))
+			return
+		}
+		if err := validateSpec(sess.Graph(), mode, q.Terminals, q.Evidence); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("query %d: %w", i, err))
+			return
+		}
+		queries[i] = netrel.Query{Mode: mode, Terminals: q.Terminals, Evidence: toEvidence(q.Evidence)}
+		modes[i] = mode
 	}
 	c := s.countersFor(name)
 	before := sess.CacheStats()
@@ -700,6 +848,9 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if c != nil {
 		c.batches.Add(1)
 		c.batchQs.Add(uint64(len(results)))
+		for _, m := range modes {
+			c.countMode(m, 1)
+		}
 	}
 	out := make([]queryResponse, len(results))
 	for i, r := range results {
@@ -723,6 +874,78 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		"cache":           toCacheResponse(after),
 		"queries_planned": planned,
 		"queries_deduped": uint64(len(results)) - planned,
+	})
+}
+
+// handleTopK serves top-k reliable search: rank every vertex outside the
+// base terminal set by the reliability of terminals ∪ {v} — conditioned on
+// the request's evidence when present — and return the k best. The scan is
+// one deduplicated candidate batch, so the -maxqueries batch cap bounds it.
+func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
+	var req topkRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	name, sess, err := s.session(req.Graph)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if err := validateSpec(sess.Graph(), netrel.ModeTopK, req.Terminals, req.Evidence); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.K <= 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("topk query needs k > 0, got %d", req.K))
+		return
+	}
+	if candidates := sess.Graph().N() - len(req.Terminals); s.def.maxQueries > 0 && candidates > s.def.maxQueries {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("topk scan of %d candidate vertices exceeds the daemon batch cap %d", candidates, s.def.maxQueries))
+		return
+	}
+	opts, err := s.options(req.Samples, req.Width, req.Seed, req.Workers, req.Estimator)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec := netrel.QuerySpec{
+		Mode:      netrel.ModeTopK,
+		Terminals: req.Terminals,
+		Evidence:  toEvidence(req.Evidence),
+		K:         req.K,
+	}
+	c := s.countersFor(name)
+	start := time.Now()
+	entries, err := sess.TopKReliableContext(r.Context(), spec, opts...)
+	if err != nil {
+		if c != nil {
+			c.failures.Add(1)
+		}
+		writeError(w, statusFor(err), err)
+		return
+	}
+	if c != nil {
+		c.queries.Add(1)
+		c.countMode(netrel.ModeTopK, 1)
+	}
+	type topkEntry struct {
+		Vertex int           `json:"vertex"`
+		Result queryResponse `json:"result"`
+	}
+	out := make([]topkEntry, len(entries))
+	for i, e := range entries {
+		out[i] = topkEntry{Vertex: e.Vertex, Result: toResponse(e.Result)}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"graph":       name,
+		"mode":        netrel.ModeTopK.String(),
+		"k":           req.K,
+		"results":     out,
+		"duration_ms": float64(time.Since(start)) / float64(time.Millisecond),
 	})
 }
 

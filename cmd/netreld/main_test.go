@@ -186,6 +186,146 @@ func TestBatchEndpoint(t *testing.T) {
 	}
 }
 
+// TestConditionalQueryEndpoint: on the 4-cycle, observing edge 3 (3–0,
+// p=0.7) down leaves 0–1–2 as the only route between terminals 0 and 2, so
+// the exact conditional reliability is 0.9·0.8 = 0.72.
+func TestConditionalQueryEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	var got struct {
+		Mode   string        `json:"mode"`
+		Result queryResponse `json:"result"`
+	}
+	code := postJSON(t, ts.URL+"/v1/reliability",
+		`{"mode":"conditional","terminals":[0,2],"evidence":[{"edge":3,"up":false}],"exact":true}`, &got)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if got.Mode != "conditional" {
+		t.Fatalf("mode %q", got.Mode)
+	}
+	if !got.Result.Exact {
+		t.Fatal("exact conditional query returned a sampled result")
+	}
+	if d := got.Result.Reliability - 0.72; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("conditional reliability %v, want 0.72", got.Result.Reliability)
+	}
+}
+
+// TestTopKEndpoint: the ranking must match the library's TopKReliable under
+// the daemon's option defaults.
+func TestTopKEndpoint(t *testing.T) {
+	srv, ts := testServer(t)
+	var got struct {
+		Mode    string `json:"mode"`
+		K       int    `json:"k"`
+		Results []struct {
+			Vertex int           `json:"vertex"`
+			Result queryResponse `json:"result"`
+		} `json:"results"`
+	}
+	code := postJSON(t, ts.URL+"/v1/topk", `{"terminals":[0],"k":2,"samples":2000,"seed":11}`, &got)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if got.Mode != "topk" || got.K != 2 || len(got.Results) != 2 {
+		t.Fatalf("mode=%q k=%d results=%d", got.Mode, got.K, len(got.Results))
+	}
+	want, err := netrel.NewSession(defaultSession(t, srv).Graph()).TopKReliable(
+		netrel.QuerySpec{Mode: netrel.ModeTopK, Terminals: []int{0}, K: 2},
+		netrel.WithSamples(2000), netrel.WithSeed(11), netrel.WithMaxWidth(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range got.Results {
+		if e.Vertex != want[i].Vertex || e.Result.Reliability != want[i].Result.Reliability {
+			t.Fatalf("rank %d: daemon (%d, %v) vs library (%d, %v)",
+				i, e.Vertex, e.Result.Reliability, want[i].Vertex, want[i].Result.Reliability)
+		}
+	}
+}
+
+// TestMixedBatchAndModeCounters drives one query of each mode — a mixed
+// batch included — and asserts the per-mode counters in /v1/stats.
+func TestMixedBatchAndModeCounters(t *testing.T) {
+	_, ts := testServer(t)
+	var batch struct {
+		Results []queryResponse `json:"results"`
+	}
+	code := postJSON(t, ts.URL+"/v1/batch",
+		`{"queries":[{"terminals":[0,2]},{"mode":"conditional","terminals":[0,2],"evidence":[{"edge":0,"up":true}]},{"terminals":[0,2]}],"samples":1000,"seed":2}`,
+		&batch)
+	if code != http.StatusOK {
+		t.Fatalf("mixed batch status %d", code)
+	}
+	if len(batch.Results) != 3 {
+		t.Fatalf("%d results, want 3", len(batch.Results))
+	}
+	// Conditioning on edge 0 up can only raise the reliability.
+	if batch.Results[1].Reliability <= batch.Results[0].Reliability {
+		t.Fatalf("conditional %v not above unconditional %v",
+			batch.Results[1].Reliability, batch.Results[0].Reliability)
+	}
+	if code := postJSON(t, ts.URL+"/v1/reliability",
+		`{"mode":"conditional","terminals":[1,3],"evidence":[{"edge":1,"up":false}]}`, nil); code != http.StatusOK {
+		t.Fatalf("single conditional status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/topk", `{"terminals":[0],"k":1}`, nil); code != http.StatusOK {
+		t.Fatalf("topk status %d", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Graphs map[string]graphStatsResponse `json:"graphs"`
+		Modes  modesResponse                 `json:"modes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	// 2 terminal-set (in the batch), 2 conditional (one batched, one
+	// single), 1 topk (counted once, not per candidate).
+	want := modesResponse{TerminalSet: 2, Conditional: 2, TopK: 1}
+	if stats.Modes != want {
+		t.Fatalf("total modes %+v, want %+v", stats.Modes, want)
+	}
+	if got := stats.Graphs[defaultGraphName].Modes; got != want {
+		t.Fatalf("graph modes %+v, want %+v", got, want)
+	}
+}
+
+// TestModeValidation: malformed mode-polymorphic requests fail with a 400
+// whose message names the offending index and the query's mode.
+func TestModeValidation(t *testing.T) {
+	_, ts := testServer(t)
+	cases := []struct {
+		url, body, wantErr string
+	}{
+		{"/v1/reliability", `{"mode":"nope","terminals":[0,2]}`, `unknown mode "nope"`},
+		{"/v1/reliability", `{"mode":"topk","terminals":[0,2]}`, "/v1/topk"},
+		{"/v1/reliability", `{"terminals":[0,99]}`, "terminal-set query: terminals[1] = 99 out of range [0,4)"},
+		{"/v1/reliability", `{"terminals":[0,2],"evidence":[{"edge":0,"up":true}]}`, "cannot carry evidence"},
+		{"/v1/reliability", `{"mode":"conditional","terminals":[0,2],"evidence":[{"edge":9,"up":true}]}`,
+			"conditional query: evidence[0].edge = 9 out of range [0,4)"},
+		{"/v1/batch", `{"queries":[{"terminals":[0,2]},{"mode":"conditional","terminals":[0,2],"evidence":[{"edge":-1,"up":false}]}]}`,
+			"query 1: conditional query: evidence[0].edge = -1 out of range [0,4)"},
+		{"/v1/topk", `{"terminals":[7],"k":2}`, "topk query: terminals[0] = 7 out of range [0,4)"},
+		{"/v1/topk", `{"terminals":[0],"k":0}`, "k > 0"},
+		{"/v1/topk", `{"terminals":[0],"k":2,"evidence":[{"edge":4,"up":true}]}`,
+			"topk query: evidence[0].edge = 4 out of range [0,4)"},
+	}
+	for _, c := range cases {
+		var got map[string]string
+		if code := postJSON(t, ts.URL+c.url, c.body, &got); code != http.StatusBadRequest {
+			t.Errorf("POST %s %q: status %d, want 400", c.url, c.body, code)
+		} else if !strings.Contains(got["error"], c.wantErr) {
+			t.Errorf("POST %s %q: error %q does not contain %q", c.url, c.body, got["error"], c.wantErr)
+		}
+	}
+}
+
 func TestStatsEndpoint(t *testing.T) {
 	_, ts := testServer(t)
 	postJSON(t, ts.URL+"/v1/reliability", `{"terminals":[0,2]}`, nil)

@@ -27,6 +27,7 @@ import (
 
 	"netrel/internal/exact"
 	"netrel/internal/ugraph"
+	"netrel/internal/xfloat"
 )
 
 // exactAgreeTol bounds the disagreement between two exact solvers: both
@@ -104,6 +105,37 @@ func bruteForce(t *testing.T, g *Graph, terms []int) float64 {
 	return r.Float64()
 }
 
+// bruteForceConditional computes the ground-truth conditional reliability
+// P[T connected | evidence] directly from Definition 1 on the ORIGINAL
+// graph: enumerate every possible world, keep those consistent with the
+// evidence, and divide the connected-and-consistent mass by the consistent
+// mass. It never builds a conditioned graph, so it is an oracle independent
+// of the library's conditioning rewrite.
+func bruteForceConditional(t *testing.T, g *Graph, terms []int, obs []EdgeObservation) float64 {
+	t.Helper()
+	ts, err := ugraph.NewTerminals(g.internal(), terms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	consistent := xfloat.Zero
+	connected := xfloat.Zero
+	ugraph.EnumerateWorlds(g.internal(), func(exists []bool, pr xfloat.F) {
+		for _, o := range obs {
+			if exists[o.Edge] != o.Up {
+				return
+			}
+		}
+		consistent = consistent.Add(pr)
+		if ugraph.TerminalsConnected(g.internal(), ts, exists) {
+			connected = connected.Add(pr)
+		}
+	})
+	if consistent.Float64() == 0 {
+		t.Fatal("evidence has zero probability; conditioning undefined")
+	}
+	return connected.Float64() / consistent.Float64()
+}
+
 func absDiff(a, b float64) float64 {
 	if a > b {
 		return a - b
@@ -156,6 +188,13 @@ func TestDifferentialSolvers(t *testing.T) {
 			if d := absDiff(exactRes.Reliability, bddRes.Reliability); d > exactAgreeTol {
 				t.Fatalf("Exact %v vs BDDExact %v (diff %g)", exactRes.Reliability, bddRes.Reliability, d)
 			}
+			factRes, err := Factoring(c.g, c.terms)
+			if err != nil {
+				t.Fatalf("Factoring: %v", err)
+			}
+			if d := absDiff(factRes.Reliability, truth); d > exactAgreeTol {
+				t.Fatalf("Factoring %v vs brute force %v (diff %g)", factRes.Reliability, truth, d)
+			}
 
 			// The sampling path: a width of 4 forces node deletion and
 			// stratified completion sampling on all but the tiniest cases.
@@ -192,6 +231,77 @@ func TestDifferentialSolvers(t *testing.T) {
 						t.Fatalf("Exact %s/workers=%d: %v", mode.name, w, err)
 					}
 					assertSameResult(t, fmt.Sprintf("Exact %s/workers=%d", mode.name, w), exactRes, ex)
+				}
+			}
+		})
+	}
+}
+
+// randomEvidence draws 1–3 conflict-free edge observations for a diff case.
+func randomEvidence(rng *rand.Rand, g *Graph) []EdgeObservation {
+	k := 1 + rng.IntN(3)
+	seen := map[int]bool{}
+	var obs []EdgeObservation
+	for len(obs) < k {
+		e := rng.IntN(g.M())
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		obs = append(obs, EdgeObservation{Edge: e, Up: rng.IntN(2) == 0})
+	}
+	return obs
+}
+
+// TestDifferentialConditional pins conditional reliability to a world-
+// enumeration oracle that filters by evidence consistency on the original
+// graph — fully independent of the conditioning rewrite under test. The
+// exact pipeline must agree to rounding slack; the sampling pipeline's
+// proven bounds must bracket the conditional truth for every seed.
+func TestDifferentialConditional(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0xc0ed, 0x0b5e))
+	const cases = 16
+	for i := 0; i < cases; i++ {
+		c := randomDiffCase(rng, i)
+		obs := randomEvidence(rng, c.g)
+		t.Run(c.name, func(t *testing.T) {
+			truth := bruteForceConditional(t, c.g, c.terms, obs)
+			spec := QuerySpec{Mode: ModeConditional, Terminals: c.terms, Evidence: obs}
+
+			ex, err := SolveExact(c.g, spec, WithMaxWidth(1<<16))
+			if err != nil {
+				t.Fatalf("SolveExact: %v", err)
+			}
+			if !ex.Exact {
+				t.Fatal("conditional exact result not flagged exact")
+			}
+			if d := absDiff(ex.Reliability, truth); d > exactAgreeTol {
+				t.Fatalf("SolveExact %v vs conditional oracle %v (diff %g)", ex.Reliability, truth, d)
+			}
+
+			approxOpts := []Option{WithSamples(800), WithSeed(uint64(i) + 1), WithMaxWidth(4)}
+			approx, err := Solve(c.g, spec, approxOpts...)
+			if err != nil {
+				t.Fatalf("Solve: %v", err)
+			}
+			if approx.Lower > truth+boundSlack || truth > approx.Upper+boundSlack {
+				t.Fatalf("bounds [%v, %v] do not bracket conditional oracle %v",
+					approx.Lower, approx.Upper, truth)
+			}
+
+			// Scheduling sweep: the conditioned pipeline must be as
+			// schedule-blind as the unconditioned one.
+			for _, mode := range engineModes() {
+				for _, w := range workerCounts() {
+					sess := NewSession(c.g)
+					sess.SetEngine(mode.eng)
+					sess.SetCacheCapacity(0)
+					opts := append(append([]Option{}, approxOpts...), WithWorkers(w))
+					res, err := sess.Solve(spec, opts...)
+					if err != nil {
+						t.Fatalf("%s/workers=%d: %v", mode.name, w, err)
+					}
+					assertSameResult(t, fmt.Sprintf("conditional %s/workers=%d", mode.name, w), approx, res)
 				}
 			}
 		})

@@ -9,6 +9,7 @@ import (
 	"netrel/internal/bdd"
 	"netrel/internal/core"
 	"netrel/internal/engine"
+	"netrel/internal/exact"
 	"netrel/internal/sampling"
 )
 
@@ -237,6 +238,17 @@ func batchSolveCost(o options, uniqueJobs, distinct int) int64 {
 		return 0 // every query answered by preprocessing alone
 	}
 	return queryCost(o, n, false)
+}
+
+// factoringCost is the admission cost of the Factoring exact solver, whose
+// work is governed by its recursion budget (one recursive call does O(|E|)
+// reduction work ≈ one draw-equivalent), not by samples or the S2BDD width.
+func factoringCost(o options) int64 {
+	b := o.factorBudget
+	if b <= 0 {
+		b = exact.DefaultFactoringBudget
+	}
+	return int64(b)
 }
 
 // samplingCost is the admission cost of the MC/HT possible-world baseline,

@@ -1,9 +1,10 @@
-// Reliability search and clustering: the downstream analyses from the
-// paper's related-work section (Khan et al. 2014; Ceccarello et al. 2017),
-// driven by this library. The search uses shared-world sampling for
-// screening and the S2BDD pipeline to decide borderline vertices — the
-// hybrid the paper proposes when it says its approach "can be used to
-// improve their performances in terms of both accuracy and efficiency".
+// Top-k reliable search and conditional (evidence) queries: the downstream
+// analyses from the paper's related-work section (Khan et al. 2014), driven
+// by the library's mode-polymorphic query core. A top-k search is one
+// deduplicated batch of candidate queries — candidates sharing 2ECC
+// structure share plans and subproblems — and evidence conditioning is an
+// exact graph rewrite, so both modes inherit the S2BDD pipeline's accuracy
+// and determinism unchanged.
 //
 // Run with:
 //
@@ -14,7 +15,7 @@ import (
 	"fmt"
 	"log"
 
-	"netrel/analysis"
+	"netrel"
 	"netrel/datasets"
 )
 
@@ -29,61 +30,71 @@ func main() {
 	fmt.Printf("network: %d proteins, %d interactions; query protein %d\n\n",
 		g.N(), g.M(), source)
 
-	// Which proteins are connected to the query with probability ≥ 0.15?
-	hits, err := analysis.Search(g, source, 0.15, analysis.Options{
-		Samples: 5000,
-		Seed:    4,
-		Refine:  true, // borderline vertices re-decided by the S2BDD
-	})
+	sess := netrel.NewSession(g)
+	opts := []netrel.Option{netrel.WithSamples(2000), netrel.WithSeed(4)}
+
+	// Top-10 most reliably connected proteins: rank every other vertex v by
+	// R[{source, v}] in one batched, deduplicated scan.
+	top, err := sess.TopKReliable(netrel.QuerySpec{
+		Mode:      netrel.ModeTopK,
+		Terminals: []int{source},
+		K:         10,
+	}, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	refined := 0
-	for _, h := range hits {
-		if h.Refined {
-			refined++
+	fmt.Printf("top-10 most reliably connected to protein %d:\n", source)
+	for i, e := range top {
+		fmt.Printf("  %2d. protein %4d  R ≈ %.4f\n", i+1, e.Vertex, e.Result.Reliability)
+	}
+
+	// The scan planned one query per candidate but solved far fewer
+	// subproblems: candidates in the same 2ECC chains share work.
+	ps := sess.PlanStats()
+	fmt.Printf("\nscan cost: %d candidate queries, %d unique subproblems solved (of %d total)\n",
+		ps.Queries, ps.UniqueSubproblems, ps.TotalSubproblems)
+
+	// Conditional queries: suppose the interactions on protein 399's own
+	// edges have been tested in the lab. Observing its first incident edge
+	// down (absent) reweighs every connection through it.
+	var down []netrel.EdgeObservation
+	for i, e := range g.Edges() {
+		if e.U == source || e.V == source {
+			down = append(down, netrel.EdgeObservation{Edge: i, Up: false})
+			break
 		}
 	}
-	fmt.Printf("reliability search (threshold 0.15): %d proteins qualify, %d decided by S2BDD refinement\n",
-		len(hits), refined)
-	show := hits
-	if len(show) > 5 {
-		show = show[:5]
-	}
-	for _, h := range show {
-		marker := ""
-		if h.Refined {
-			marker = "  [refined]"
-		}
-		fmt.Printf("  protein %4d  R ≈ %.4f%s\n", h.Vertex, h.Reliability, marker)
-	}
-
-	// The ten most reliably connected proteins, regardless of threshold.
-	top, err := analysis.TopK(g, source, 10, analysis.Options{Samples: 5000, Seed: 4})
+	best := top[0].Vertex
+	uncond, err := sess.Solve(netrel.QuerySpec{Terminals: []int{source, best}}, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\ntop-10 most reliably connected to protein %d:\n", source)
-	for i, h := range top {
-		fmt.Printf("  %2d. protein %4d  R ≈ %.4f\n", i+1, h.Vertex, h.Reliability)
-	}
-
-	// Reliability-based clustering of the whole network.
-	cl, err := analysis.Cluster(g, 4, analysis.Options{Samples: 2000, Seed: 8})
+	cond, err := sess.Solve(netrel.QuerySpec{
+		Mode:      netrel.ModeConditional,
+		Terminals: []int{source, best},
+		Evidence:  down,
+	}, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nk-center clustering (k=4) by connection reliability:\n")
-	for i, c := range cl.Centers {
-		fmt.Printf("  cluster %d: center %4d, %3d members\n", i, c, cl.Sizes()[i])
-	}
-	fmt.Printf("  bottleneck reliability: %.4f\n", cl.MinReliability)
+	fmt.Printf("\nR[{%d,%d}] = %.4f unconditional, %.4f given edge %d observed down\n",
+		source, best, uncond.Reliability, cond.Reliability, down[0].Edge)
 
-	// Precise pairwise check between the two largest clusters' centers.
-	res, err := analysis.STReliability(g, cl.Centers[0], cl.Centers[1])
+	// Evidence re-ranks the whole search: every candidate query of a
+	// conditioned top-k scan runs on the conditioned graph. Observing the
+	// source's bridge edge up lifts every reliability through it.
+	up := []netrel.EdgeObservation{{Edge: down[0].Edge, Up: true}}
+	condTop, err := sess.TopKReliable(netrel.QuerySpec{
+		Mode:      netrel.ModeTopK,
+		Terminals: []int{source},
+		Evidence:  up,
+		K:         10,
+	}, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nS2BDD s-t reliability between centers %d and %d: %.4f (bounds [%.4f, %.4f])\n",
-		cl.Centers[0], cl.Centers[1], res.Reliability, res.Lower, res.Upper)
+	fmt.Printf("\ntop-10 given edge %d observed up:\n", up[0].Edge)
+	for i, e := range condTop {
+		fmt.Printf("  %2d. protein %4d  R ≈ %.4f\n", i+1, e.Vertex, e.Result.Reliability)
+	}
 }

@@ -8,15 +8,17 @@ import (
 	"netrel/internal/sampling"
 )
 
-// TerminalDedup is the plan-level deduplication of a batch: queries grouped
-// by canonical terminal-set signature so each distinct terminal set is
-// planned exactly once and the resulting plan fans out to every query that
-// shares it. Dedup here is sound because all queries of a batch run against
-// the same graph and 2ECC index, so the (canonicalized) terminal set alone
-// determines the preprocessing outcome — and plans are bit-identical by
-// construction, since subproblem RNG seeds derive from canonical subproblem
-// signatures, never from a query's position in the batch.
-type TerminalDedup struct {
+// SpecDedup is the plan-level deduplication of a batch: queries grouped by
+// canonical spec signature — mode, terminal set, and evidence — so each
+// distinct spec is planned exactly once and the resulting plan fans out to
+// every query that shares it. Dedup here is sound because all queries of a
+// batch run against the same graph, so the canonical spec alone determines
+// the preprocessing outcome (conditioning is a deterministic graph rewrite,
+// and terminal-set planning reads only the shared 2ECC index) — and plans
+// are bit-identical by construction, since subproblem RNG seeds derive from
+// canonical subproblem signatures, never from a query's position in the
+// batch.
+type SpecDedup struct {
 	// Slot[q] is the distinct-plan slot of query q.
 	Slot []int
 	// First[q-index per slot]: First[d] is the first query planning slot d,
@@ -26,11 +28,11 @@ type TerminalDedup struct {
 	First []int
 }
 
-// DedupTerminals groups queries by terminal-set signature. Slots appear in
+// DedupSpecs groups queries by canonical spec signature. Slots appear in
 // first-use order, so the result depends only on the query list, never on
 // scheduling.
-func DedupTerminals(sigs []preprocess.Signature) *TerminalDedup {
-	td := &TerminalDedup{Slot: make([]int, len(sigs))}
+func DedupSpecs(sigs []preprocess.Signature) *SpecDedup {
+	td := &SpecDedup{Slot: make([]int, len(sigs))}
 	index := make(map[preprocess.Signature]int, len(sigs))
 	for q, sig := range sigs {
 		d, ok := index[sig]
@@ -44,12 +46,12 @@ func DedupTerminals(sigs []preprocess.Signature) *TerminalDedup {
 	return td
 }
 
-// Distinct returns the number of distinct plans (terminal sets) in the
+// Distinct returns the number of distinct plans (specs) in the
 // batch.
-func (td *TerminalDedup) Distinct() int { return len(td.First) }
+func (td *SpecDedup) Distinct() int { return len(td.First) }
 
 // Deduped returns the number of queries answered by another query's plan.
-func (td *TerminalDedup) Deduped() int { return len(td.Slot) - len(td.First) }
+func (td *SpecDedup) Deduped() int { return len(td.Slot) - len(td.First) }
 
 // PlanAll runs plan(d) for every distinct slot in [0, distinct),
 // chunk-parallel on the shared engine pool via sampling.ForEachChunkCtx:

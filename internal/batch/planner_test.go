@@ -12,8 +12,8 @@ import (
 
 func sig(n uint64) preprocess.Signature { return preprocess.Signature{Hi: n, Lo: ^n} }
 
-func TestDedupTerminalsGroupsInFirstUseOrder(t *testing.T) {
-	dd := DedupTerminals([]preprocess.Signature{
+func TestDedupSpecsGroupsInFirstUseOrder(t *testing.T) {
+	dd := DedupSpecs([]preprocess.Signature{
 		sig(7), sig(3), sig(7), sig(9), sig(3), sig(7),
 	})
 	if got, want := fmt.Sprint(dd.Slot), "[0 1 0 2 1 0]"; got != want {
@@ -26,7 +26,7 @@ func TestDedupTerminalsGroupsInFirstUseOrder(t *testing.T) {
 		t.Fatalf("distinct/deduped = %d/%d, want 3/3", dd.Distinct(), dd.Deduped())
 	}
 
-	empty := DedupTerminals(nil)
+	empty := DedupSpecs(nil)
 	if empty.Distinct() != 0 || empty.Deduped() != 0 || len(empty.Slot) != 0 {
 		t.Fatalf("empty dedup: %+v", empty)
 	}

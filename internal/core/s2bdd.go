@@ -307,6 +307,13 @@ func clamp01(x float64) float64 {
 // yet are scored with a small constant in place of the max term.
 func (r *run) heuristic(f []int32, n *node) float64 {
 	const unflaggedScore = 1e-6
+	if n.p.IsZero() {
+		// A node can carry exactly zero mass when the graph has certain
+		// (p = 1) edges — e.g. evidence conditioning — and the node lies on
+		// such an edge's absent branch. It contributes nothing to any sink,
+		// so it is the first to delete: log h(n) = −∞.
+		return math.Inf(-1)
+	}
 	st := &n.state
 	best := 0.0
 	// d per component: sum of remaining uncertain edges over member slots.

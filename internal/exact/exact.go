@@ -6,6 +6,7 @@
 package exact
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -42,11 +43,20 @@ const DefaultFactoringBudget = 5_000_000
 // caps the recursion count (≤0 selects DefaultFactoringBudget); exceeding it
 // returns ErrTooLarge.
 func Factoring(g *ugraph.Graph, ts ugraph.Terminals, budget int) (xfloat.F, error) {
+	return FactoringContext(context.Background(), g, ts, budget)
+}
+
+// FactoringContext is Factoring with cancellation: the recursion re-checks
+// ctx every ctxCheckStride calls, so a cancelled or expired ctx aborts a
+// runaway factoring promptly with ctx.Err(). ctx never affects the computed
+// value — the algorithm is deterministic, so a cancelled-then-retried call
+// returns exactly what an uninterrupted one would.
+func FactoringContext(ctx context.Context, g *ugraph.Graph, ts ugraph.Terminals, budget int) (xfloat.F, error) {
 	if budget <= 0 {
 		budget = DefaultFactoringBudget
 	}
 	fg := newFactorGraph(g, ts)
-	f := &factorer{budget: budget}
+	f := &factorer{budget: budget, ctx: ctx}
 	r, err := f.solve(fg)
 	if err != nil {
 		return xfloat.Zero, err
@@ -90,9 +100,16 @@ func (fg *factorGraph) clone() *factorGraph {
 
 type factorer struct {
 	budget int
+	ctx    context.Context
 }
 
 var errBudget = fmt.Errorf("%w: factoring budget exhausted", ErrTooLarge)
+
+// ctxCheckStride is how many recursive calls pass between ctx re-checks: a
+// ctx.Err() per call would dominate the tiny-graph base cases, while one
+// every 4096 calls bounds cancellation latency to a few milliseconds of
+// factoring work.
+const ctxCheckStride = 4096
 
 // solve consumes fg (mutates it freely).
 func (f *factorer) solve(fg *factorGraph) (xfloat.F, error) {
@@ -100,6 +117,11 @@ func (f *factorer) solve(fg *factorGraph) (xfloat.F, error) {
 		return xfloat.Zero, errBudget
 	}
 	f.budget--
+	if f.budget%ctxCheckStride == 0 {
+		if err := f.ctx.Err(); err != nil {
+			return xfloat.Zero, err
+		}
+	}
 
 	factor := xfloat.One
 	for {

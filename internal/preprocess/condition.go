@@ -1,0 +1,98 @@
+package preprocess
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"netrel/internal/ugraph"
+)
+
+// Observation is one piece of edge evidence for conditional reliability:
+// edge Edge was observed present (Up) or absent (!Up). Conditioning on
+// independent edges is exact — P[T connected | evidence] equals the
+// reliability of the graph with every up-edge made certain and every
+// down-edge removed — so evidence folds into the pipeline as a graph
+// rewrite applied before decomposition (Khan et al., Conditional
+// Reliability in Uncertain Graphs).
+type Observation struct {
+	Edge int
+	Up   bool
+}
+
+// ErrObservationRange reports an evidence edge index outside the graph.
+var ErrObservationRange = errors.New("preprocess: evidence edge out of range")
+
+// ErrObservationConflict reports the same edge observed both up and down:
+// the evidence has probability zero and conditioning on it is undefined.
+var ErrObservationConflict = errors.New("preprocess: conflicting evidence for edge")
+
+// NormalizeObservations validates obs against g and returns its canonical
+// form: sorted by edge index with duplicate observations collapsed. Two
+// callers holding the same evidence in any order therefore produce the same
+// normalized slice — which is what lets spec signatures (SignSpec) and the
+// conditioning rewrite (Condition) treat evidence as a canonical value. A
+// nil slice is returned for empty evidence; conflicting observations of one
+// edge fail with ErrObservationConflict.
+func NormalizeObservations(g *ugraph.Graph, obs []Observation) ([]Observation, error) {
+	if len(obs) == 0 {
+		return nil, nil
+	}
+	out := append([]Observation(nil), obs...)
+	for _, o := range out {
+		if o.Edge < 0 || o.Edge >= g.M() {
+			return nil, fmt.Errorf("%w: edge %d with m=%d", ErrObservationRange, o.Edge, g.M())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Edge != out[j].Edge {
+			return out[i].Edge < out[j].Edge
+		}
+		return !out[i].Up && out[j].Up
+	})
+	w := 1
+	for i := 1; i < len(out); i++ {
+		prev := out[w-1]
+		if out[i].Edge == prev.Edge {
+			if out[i].Up != prev.Up {
+				return nil, fmt.Errorf("%w %d", ErrObservationConflict, out[i].Edge)
+			}
+			continue
+		}
+		out[w] = out[i]
+		w++
+	}
+	return out[:w], nil
+}
+
+// Condition applies normalized evidence to g: an edge observed up becomes
+// certain (probability 1), an edge observed down is removed. Vertex ids are
+// unchanged, surviving edges keep their relative order, and the result
+// depends only on (g, obs) — never on which query asked — so conditioned
+// subproblems signed by Sign get canonical signatures and the whole
+// dedup/cache/seed machinery works on them unchanged. Empty evidence
+// returns g itself.
+func Condition(g *ugraph.Graph, obs []Observation) *ugraph.Graph {
+	if len(obs) == 0 {
+		return g
+	}
+	cond := ugraph.New(g.N())
+	next := 0
+	for i, e := range g.Edges() {
+		for next < len(obs) && obs[next].Edge < i {
+			next++
+		}
+		p := e.P
+		if next < len(obs) && obs[next].Edge == i {
+			if !obs[next].Up {
+				continue // observed absent: the edge is gone
+			}
+			p = 1 // observed present: the edge is certain
+		}
+		if _, err := cond.AddEdge(e.U, e.V, p); err != nil {
+			// Unreachable: endpoints and probability come from a valid graph.
+			panic(fmt.Sprintf("preprocess: conditioning rebuilt an invalid edge: %v", err))
+		}
+	}
+	return cond
+}

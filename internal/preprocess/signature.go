@@ -83,6 +83,35 @@ func SignTerminals(ts ugraph.Terminals) Signature {
 	})
 }
 
+// SignSpec canonically identifies a (mode, terminal set, evidence) planning
+// unit for plan-level deduplication in mixed-mode batches. Two queries with
+// equal spec signatures run the same preprocessing — same mode, same
+// canonicalized terminals, same normalized evidence, same graph (shared by
+// the whole batch) — and can therefore share one plan. The hash is
+// domain-separated from Sign and SignTerminals, and the mode participates in
+// it, so specs of different modes never collide into one plan even when
+// their terminal sets coincide (their subproblems still dedup at the solve
+// level whenever conditioning leaves them byte-identical).
+func SignSpec(mode uint64, ts ugraph.Terminals, obs []Observation) Signature {
+	return hashSig(func(put func(uint64)) {
+		put(0x73706563_7369676e) // "specsign" domain tag
+		put(mode)
+		put(uint64(len(ts)))
+		for _, t := range ts {
+			put(uint64(t))
+		}
+		put(uint64(len(obs)))
+		for _, o := range obs {
+			put(uint64(o.Edge))
+			if o.Up {
+				put(1)
+			} else {
+				put(0)
+			}
+		}
+	})
+}
+
 // Less orders signatures lexicographically (a deterministic tie-break for
 // schedulers).
 func (s Signature) Less(o Signature) bool {

@@ -72,6 +72,7 @@ type options struct {
 	stallWindow    int
 	stallThreshold float64
 	bddBudget      int
+	factorBudget   int
 }
 
 func defaultOptions() options {
@@ -239,6 +240,16 @@ func WithBDDNodeBudget(nodes int) Option {
 			return fmt.Errorf("netrel: node budget must be positive")
 		}
 		o.bddBudget = nodes
+		return nil
+	}
+}
+
+// WithFactoringBudget caps the recursion count of the Factoring exact solver,
+// after which it fails with a too-large error. Values ≤ 0 (the default)
+// select the package default budget. Only Factoring reads it.
+func WithFactoringBudget(calls int) Option {
+	return func(o *options) error {
+		o.factorBudget = calls
 		return nil
 	}
 }

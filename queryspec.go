@@ -1,0 +1,153 @@
+package netrel
+
+import (
+	"errors"
+	"fmt"
+
+	"netrel/internal/preprocess"
+	"netrel/internal/ugraph"
+)
+
+// QueryMode selects the shape of a reliability query. The zero value is
+// ModeTerminalSet, so specs (and batch Query values) that set only
+// Terminals keep their pre-QuerySpec meaning.
+type QueryMode int
+
+const (
+	// ModeTerminalSet is the paper's k-terminal reliability: the
+	// probability that every terminal is mutually connected. Two terminals
+	// make it the s-t reliability of the comparison literature.
+	ModeTerminalSet QueryMode = iota
+	// ModeConditional is k-terminal reliability conditioned on edge
+	// evidence: the probability that the terminals connect given that the
+	// observed edges are up or down. Because edges are independent,
+	// conditioning is exact — an up-edge becomes certain, a down-edge is
+	// removed — and the conditioned graph runs through the ordinary
+	// decompose/sign/solve pipeline.
+	ModeConditional
+	// ModeTopK ranks candidate vertices by the reliability of
+	// Terminals ∪ {v} and returns the K most reliable. Served by
+	// Session.TopKReliable (it yields a ranking, not a single Result).
+	ModeTopK
+)
+
+// String names the mode the way the wire format (cmd/netreld) spells it.
+func (m QueryMode) String() string {
+	switch m {
+	case ModeTerminalSet:
+		return "terminal-set"
+	case ModeConditional:
+		return "conditional"
+	case ModeTopK:
+		return "topk"
+	default:
+		return fmt.Sprintf("QueryMode(%d)", int(m))
+	}
+}
+
+// EdgeObservation is one piece of evidence for a conditional query: the
+// edge with index Edge (in graph edge order) was observed present (Up) or
+// absent (!Up).
+type EdgeObservation struct {
+	Edge int
+	Up   bool
+}
+
+// QuerySpec is a mode-polymorphic reliability query over a graph.
+//
+//   - ModeTerminalSet uses Terminals only.
+//   - ModeConditional uses Terminals and Evidence. Evidence order and
+//     duplicates don't matter (it is canonicalized); observing one edge
+//     both up and down is an error.
+//   - ModeTopK uses Terminals (the base set every candidate extends,
+//     typically one source vertex), K, and optionally Evidence (each
+//     candidate is then conditioned).
+//
+// A QuerySpec is a value: nothing retains it after a call returns.
+type QuerySpec struct {
+	Mode      QueryMode
+	Terminals []int
+	Evidence  []EdgeObservation
+	K         int
+}
+
+// ErrQueryMode reports a QuerySpec whose Mode is not one of the defined
+// constants.
+var ErrQueryMode = errors.New("netrel: unknown query mode")
+
+// ErrTopKNotSingle reports a ModeTopK spec passed to a single-result entry
+// point: a top-k query yields a ranking, so it is served by
+// Session.TopKReliable (or POST /v1/topk), not by Solve or a batch.
+var ErrTopKNotSingle = errors.New("netrel: topk queries return a ranking; use Session.TopKReliable")
+
+// resolvedSpec is a QuerySpec validated and canonicalized against one
+// graph: the graph to decompose (the base graph, or the conditioned rewrite
+// of it), canonical terminals, normalized evidence, and the spec signature
+// used for plan-level dedup. Everything downstream of resolution —
+// planning, solving, caching, seeding — sees only this canonical form, so
+// results can never depend on how the caller spelled the spec.
+type resolvedSpec struct {
+	mode QueryMode
+	g    *ugraph.Graph
+	ts   ugraph.Terminals
+	obs  []preprocess.Observation
+	// planSig identifies the spec for plan-level dedup (SignSpec domain).
+	planSig preprocess.Signature
+	// conditioned reports that g is a conditioned rewrite of the base
+	// graph, so a session's prebuilt 2ECC index does not describe it.
+	conditioned bool
+}
+
+// resolveSpec validates spec against g and canonicalizes it. ModeTopK is
+// rejected (see ErrTopKNotSingle): TopKReliable expands a topk spec into
+// the single-result candidate specs this function accepts.
+func resolveSpec(g *Graph, spec QuerySpec) (*resolvedSpec, error) {
+	switch spec.Mode {
+	case ModeTerminalSet, ModeConditional:
+	case ModeTopK:
+		return nil, ErrTopKNotSingle
+	default:
+		return nil, fmt.Errorf("%w %d", ErrQueryMode, int(spec.Mode))
+	}
+	if spec.Mode != ModeConditional && len(spec.Evidence) > 0 {
+		return nil, fmt.Errorf("netrel: evidence requires %v mode, got %v", ModeConditional, spec.Mode)
+	}
+	if spec.K != 0 {
+		return nil, fmt.Errorf("netrel: K is only meaningful for %v queries, got K=%d in %v mode",
+			ModeTopK, spec.K, spec.Mode)
+	}
+	ts, err := ugraph.NewTerminals(g.internal(), spec.Terminals)
+	if err != nil {
+		return nil, err
+	}
+	obsIn := make([]preprocess.Observation, len(spec.Evidence))
+	for i, ev := range spec.Evidence {
+		obsIn[i] = preprocess.Observation{Edge: ev.Edge, Up: ev.Up}
+	}
+	obs, err := preprocess.NormalizeObservations(g.internal(), obsIn)
+	if err != nil {
+		return nil, err
+	}
+	rs := &resolvedSpec{
+		mode:    spec.Mode,
+		g:       g.internal(),
+		ts:      ts,
+		obs:     obs,
+		planSig: preprocess.SignSpec(uint64(spec.Mode), ts, obs),
+	}
+	if spec.Mode == ModeConditional && len(obs) > 0 {
+		rs.g = preprocess.Condition(g.internal(), obs)
+		rs.conditioned = true
+	}
+	return rs, nil
+}
+
+// planIndex picks the 2ECC index to plan rs with: the caller's prebuilt
+// index when rs runs on the base graph it describes, nil — build on the fly
+// inside preprocessing — when conditioning produced a different graph.
+func (rs *resolvedSpec) planIndex(idx *preprocess.Index) *preprocess.Index {
+	if rs.conditioned {
+		return nil
+	}
+	return idx
+}

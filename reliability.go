@@ -33,6 +33,15 @@
 //		{Terminals: []int{1, 3}},
 //	}, netrel.WithSamples(10000), netrel.WithSeed(1))
 //
+// The query core is shape-agnostic: a QuerySpec selects between
+// terminal-set reliability (s-t is its two-terminal case), conditional
+// reliability under edge evidence (Solve with ModeConditional — evidence is
+// applied as an exact graph conditioning before decomposition), and top-k
+// reliable search (Session.TopKReliable ranks candidate vertices by driving
+// them as one deduplicated batch). Batches may mix terminal-set and
+// conditional queries freely; dedup still applies wherever their decomposed
+// subproblems coincide.
+//
 // Execution rides a process-wide Engine: a shared worker pool with
 // admission control, so many concurrent callers never oversubscribe the
 // machine (see Engine, Registry). Every entry point has a …Context variant
@@ -126,11 +135,44 @@ func Reliability(g *Graph, terminals []int, opts ...Option) (*Result, error) {
 // ctx never affects the result — a cancelled-then-retried query returns
 // exactly what an uninterrupted one would.
 func ReliabilityContext(ctx context.Context, g *Graph, terminals []int, opts ...Option) (*Result, error) {
+	return SolveContext(ctx, g, QuerySpec{Terminals: terminals}, opts...)
+}
+
+// Solve answers one mode-polymorphic QuerySpec — terminal-set (today's
+// Reliability), or conditional reliability under edge evidence — with the
+// paper's full pipeline. Conditional specs rewrite the graph first (an
+// up-edge becomes certain, a down-edge is removed; exact for independent
+// edges), then run the ordinary decompose → sign → solve path, so the
+// result is deterministic per seed exactly like every other entry point.
+// ModeTopK yields a ranking and is served by Session.TopKReliable.
+func Solve(g *Graph, spec QuerySpec, opts ...Option) (*Result, error) {
+	return SolveContext(context.Background(), g, spec, opts...)
+}
+
+// SolveContext is Solve with cancellation (see ReliabilityContext).
+func SolveContext(ctx context.Context, g *Graph, spec QuerySpec, opts ...Option) (*Result, error) {
 	o, err := buildOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	return run(ctx, g, terminals, o, false)
+	return run(ctx, g, spec, o, false)
+}
+
+// SolveExact is Solve with sampling disabled: if any subproblem of the
+// (possibly conditioned) decomposition exceeds the width limit the call
+// fails with ErrNotExact rather than estimate.
+func SolveExact(g *Graph, spec QuerySpec, opts ...Option) (*Result, error) {
+	return SolveExactContext(context.Background(), g, spec, opts...)
+}
+
+// SolveExactContext is SolveExact with cancellation (see
+// ReliabilityContext).
+func SolveExactContext(ctx context.Context, g *Graph, spec QuerySpec, opts ...Option) (*Result, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return run(ctx, g, spec, o, true)
 }
 
 // Exact computes R[G,T] exactly via the S2BDD with unbounded sampling
@@ -143,11 +185,7 @@ func Exact(g *Graph, terminals []int, opts ...Option) (*Result, error) {
 
 // ExactContext is Exact with cancellation (see ReliabilityContext).
 func ExactContext(ctx context.Context, g *Graph, terminals []int, opts ...Option) (*Result, error) {
-	o, err := buildOptions(opts)
-	if err != nil {
-		return nil, err
-	}
-	return run(ctx, g, terminals, o, true)
+	return SolveExactContext(ctx, g, QuerySpec{Terminals: terminals}, opts...)
 }
 
 // MonteCarlo estimates R[G,T] by plain possible-world sampling — the
@@ -247,14 +285,35 @@ func BDDExactContext(ctx context.Context, g *Graph, terminals []int, opts ...Opt
 
 // Factoring computes R[G,T] exactly by the factoring theorem with
 // series-parallel reductions. Practical only for small, sparse graphs; used
-// mainly as an independent cross-check.
-func Factoring(g *Graph, terminals []int) (*Result, error) {
+// mainly as an independent cross-check. WithFactoringBudget caps the
+// recursion; other options are accepted for interface uniformity with the
+// rest of the solvers (the differential harness sweeps them all through one
+// signature) but don't affect the deterministic computation.
+func Factoring(g *Graph, terminals []int, opts ...Option) (*Result, error) {
+	return FactoringContext(context.Background(), g, terminals, opts...)
+}
+
+// FactoringContext is Factoring with cancellation and admission (see
+// ReliabilityContext): the recursion aborts at the next stride boundary
+// when ctx is cancelled, and the call occupies an engine admission slot
+// billed at its recursion budget while it runs.
+func FactoringContext(ctx context.Context, g *Graph, terminals []int, opts ...Option) (*Result, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
 	ts, err := ugraph.NewTerminals(g.internal(), terminals)
 	if err != nil {
 		return nil, err
 	}
+	eng := DefaultEngine()
+	release, err := eng.admit(ctx, factoringCost(o))
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	start := time.Now()
-	r, err := exact.Factoring(g.internal(), ts, 0)
+	r, err := exact.FactoringContext(ctx, g.internal(), ts, o.factorBudget)
 	if err != nil {
 		return nil, err
 	}

@@ -189,20 +189,7 @@ func (s *Session) Reliability(terminals []int, opts ...Option) (*Result, error) 
 // deadlines propagate to chunk granularity, and a cancelled request frees
 // its slot promptly. ctx never affects the computed value.
 func (s *Session) ReliabilityContext(ctx context.Context, terminals []int, opts ...Option) (*Result, error) {
-	o, err := buildOptions(opts)
-	if err != nil {
-		return nil, err
-	}
-	release, err := s.eng.admit(ctx, queryCost(o, 1, false))
-	if err != nil {
-		return nil, err
-	}
-	defer release()
-	idx, err := s.indexContext(ctx)
-	if err != nil {
-		return nil, err
-	}
-	return runWithIndex(ctx, s.eng.exec(), s.g, terminals, o, false, idx, s.cache)
+	return s.SolveContext(ctx, QuerySpec{Terminals: terminals}, opts...)
 }
 
 // Exact runs the exact pipeline like the package-level Exact, reusing the
@@ -214,32 +201,89 @@ func (s *Session) Exact(terminals []int, opts ...Option) (*Result, error) {
 // ExactContext is Exact with cancellation and admission (see
 // ReliabilityContext).
 func (s *Session) ExactContext(ctx context.Context, terminals []int, opts ...Option) (*Result, error) {
+	return s.SolveExactContext(ctx, QuerySpec{Terminals: terminals}, opts...)
+}
+
+// Solve answers one mode-polymorphic query — terminal-set or conditional —
+// through the full pipeline, reusing the session's index (terminal-set
+// specs) and result cache (all specs). Conditional specs apply their
+// evidence as a canonical graph rewrite before decomposition, so their
+// subproblems carry canonical signatures of the conditioned inputs and
+// share the cache, the batch dedup, and the signature-derived seeds exactly
+// like terminal-set subproblems: a conditional query returns bit-identical
+// results alone, in a batch, and for any worker count. ModeTopK specs are
+// rejected with ErrTopKNotSingle — a ranking comes from TopKReliable.
+func (s *Session) Solve(spec QuerySpec, opts ...Option) (*Result, error) {
+	return s.SolveContext(context.Background(), spec, opts...)
+}
+
+// SolveContext is Solve with cancellation and admission (see
+// ReliabilityContext).
+func (s *Session) SolveContext(ctx context.Context, spec QuerySpec, opts ...Option) (*Result, error) {
+	return s.solveSpec(ctx, spec, opts, false)
+}
+
+// SolveExact is Solve with sampling disabled: the S2BDD must resolve every
+// subproblem of the (possibly conditioned) decomposition exactly within the
+// configured width or the call fails with ErrNotExact.
+func (s *Session) SolveExact(spec QuerySpec, opts ...Option) (*Result, error) {
+	return s.SolveExactContext(context.Background(), spec, opts...)
+}
+
+// SolveExactContext is SolveExact with cancellation and admission (see
+// ReliabilityContext).
+func (s *Session) SolveExactContext(ctx context.Context, spec QuerySpec, opts ...Option) (*Result, error) {
+	return s.solveSpec(ctx, spec, opts, true)
+}
+
+// solveSpec is the single-query pipeline body shared by every session entry
+// point: resolve the spec, admit, pick the planning index, plan, solve.
+func (s *Session) solveSpec(ctx context.Context, spec QuerySpec, opts []Option, exactOnly bool) (*Result, error) {
 	o, err := buildOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	release, err := s.eng.admit(ctx, queryCost(o, 1, true))
+	rs, err := resolveSpec(s.g, spec)
+	if err != nil {
+		return nil, err
+	}
+	release, err := s.eng.admit(ctx, queryCost(o, 1, exactOnly))
 	if err != nil {
 		return nil, err
 	}
 	defer release()
-	idx, err := s.indexContext(ctx)
+	idx, err := s.specIndex(ctx, rs)
 	if err != nil {
 		return nil, err
 	}
-	return runWithIndex(ctx, s.eng.exec(), s.g, terminals, o, true, idx, s.cache)
+	return runResolved(ctx, s.eng.exec(), rs, o, exactOnly, idx, s.cache)
+}
+
+// specIndex returns the planning index for a resolved spec: the session's
+// (lazily built) base-graph index when the spec runs on the base graph, nil
+// for conditioned specs — their rewritten graph gets its own index inside
+// preprocessing. The ctx check matches indexContext's contract either way.
+func (s *Session) specIndex(ctx context.Context, rs *resolvedSpec) (*preprocess.Index, error) {
+	if rs.conditioned {
+		return nil, ctx.Err()
+	}
+	return s.indexContext(ctx)
 }
 
 // run executes the Algorithm 1 pipeline for the package-level entry
 // points: index built on the fly, no cache, DefaultEngine execution.
-func run(ctx context.Context, g *Graph, terminals []int, o options, exactOnly bool) (*Result, error) {
+func run(ctx context.Context, g *Graph, spec QuerySpec, o options, exactOnly bool) (*Result, error) {
+	rs, err := resolveSpec(g, spec)
+	if err != nil {
+		return nil, err
+	}
 	eng := DefaultEngine()
 	release, err := eng.admit(ctx, queryCost(o, 1, exactOnly))
 	if err != nil {
 		return nil, err
 	}
 	defer release()
-	return runWithIndex(ctx, eng.exec(), g, terminals, o, exactOnly, nil, nil)
+	return runResolved(ctx, eng.exec(), rs, o, exactOnly, nil, nil)
 }
 
 // queryPlan is one query after preprocessing: the jobs still to solve, the
@@ -270,26 +314,14 @@ func (p *queryPlan) cloneOut() *Result {
 	return &out
 }
 
-// planQuery validates terminals and runs preprocessing, producing the
-// decomposed subproblems (with canonical signatures) but not solving them.
-// Cancellation is checked on entry and after the preprocess pass (the pass
-// itself is cheap relative to solving).
-func planQuery(ctx context.Context, g *Graph, terminals []int, o options, idx *preprocess.Index) (*queryPlan, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	ts, err := ugraph.NewTerminals(g.internal(), terminals)
-	if err != nil {
-		return nil, err
-	}
-	return planTerminals(ctx, g, ts, o, idx)
-}
-
-// planTerminals is planQuery over an already-canonicalized terminal set —
-// the form the batch planner calls after deduplicating terminal sets, since
-// plan contents depend only on (graph, terminal set, options), never on
-// which query asked.
-func planTerminals(ctx context.Context, g *Graph, ts ugraph.Terminals, o options, idx *preprocess.Index) (*queryPlan, error) {
+// planTerminals runs preprocessing for one canonical (graph, terminal set)
+// pair — the base graph for terminal-set specs, the conditioned rewrite for
+// conditional ones — producing the decomposed subproblems (with canonical
+// signatures) but not solving them. Plan contents depend only on (graph,
+// terminal set, options), never on which query asked or how it was
+// scheduled. Cancellation is checked after the preprocess pass (the pass
+// itself is cheap relative to solving); callers check on entry.
+func planTerminals(ctx context.Context, g *ugraph.Graph, ts ugraph.Terminals, o options, idx *preprocess.Index) (*queryPlan, error) {
 	start := time.Now()
 	p := &queryPlan{
 		out:    &Result{SamplesRequested: o.samples},
@@ -299,16 +331,16 @@ func planTerminals(ctx context.Context, g *Graph, ts ugraph.Terminals, o options
 
 	if o.noExtension {
 		p.jobs = append(p.jobs, pipelineJob{
-			g:   g.internal(),
+			g:   g,
 			ts:  ts,
-			sig: preprocess.Sign(g.internal(), ts),
+			sig: preprocess.Sign(g, ts),
 		})
 		p.planDur = time.Since(start)
 		return p, nil
 	}
 
 	prepStart := time.Now()
-	prep, err := preprocess.Run(g.internal(), ts, idx)
+	prep, err := preprocess.Run(g, ts, idx)
 	if err != nil {
 		return nil, err
 	}
@@ -338,12 +370,16 @@ func planTerminals(ctx context.Context, g *Graph, ts ugraph.Terminals, o options
 	return p, nil
 }
 
-// runWithIndex is the pipeline body shared by the package-level entry
+// runResolved is the pipeline body shared by the package-level entry
 // points (idx == nil: build per call, no cache) and Session (idx
-// precomputed, cache attached). exec supplies the shared pool (nil:
-// standalone spawning); ctx cancels at layer/chunk granularity.
-func runWithIndex(ctx context.Context, exec sampling.Executor, g *Graph, terminals []int, o options, exactOnly bool, idx *preprocess.Index, cache *batch.Cache) (*Result, error) {
-	p, err := planQuery(ctx, g, terminals, o, idx)
+// precomputed for base-graph specs, cache attached). exec supplies the
+// shared pool (nil: standalone spawning); ctx cancels at layer/chunk
+// granularity.
+func runResolved(ctx context.Context, exec sampling.Executor, rs *resolvedSpec, o options, exactOnly bool, idx *preprocess.Index, cache *batch.Cache) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	p, err := planTerminals(ctx, rs.g, rs.ts, o, rs.planIndex(idx))
 	if err != nil {
 		return nil, err
 	}

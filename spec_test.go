@@ -1,0 +1,300 @@
+package netrel
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"netrel/internal/preprocess"
+)
+
+// specSweepGraph is the shared fixture of the mode-polymorphic query tests:
+// dense enough that queries decompose and sample, small enough to sweep
+// worker counts quickly.
+func specSweepGraph(t *testing.T) *Graph {
+	t.Helper()
+	return denseRandomGraph(t, 40, 140, 11)
+}
+
+// conditionByHand rebuilds the conditioned graph the way the documentation
+// describes it — up-edges certain, down-edges removed — independently of
+// preprocess.Condition, for cross-checking.
+func conditionByHand(t *testing.T, g *Graph, obs []EdgeObservation) *Graph {
+	t.Helper()
+	byEdge := map[int]bool{}
+	for _, o := range obs {
+		byEdge[o.Edge] = o.Up
+	}
+	cond := NewGraph(g.N())
+	for i, e := range g.Edges() {
+		p := e.P
+		if up, observed := byEdge[i]; observed {
+			if !up {
+				continue
+			}
+			p = 1
+		}
+		if err := cond.AddEdge(e.U, e.V, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cond
+}
+
+// TestConditionalMatchesConditionedGraph: a conditional query must be
+// bit-identical to the plain terminal-set query on the hand-conditioned
+// graph — evidence is exactly a graph rewrite, nothing more.
+func TestConditionalMatchesConditionedGraph(t *testing.T) {
+	g := specSweepGraph(t)
+	obs := []EdgeObservation{{Edge: 7, Up: true}, {Edge: 42, Up: false}, {Edge: 99, Up: true}}
+	opts := []Option{WithSamples(4000), WithSeed(3)}
+
+	cond, err := Solve(g, QuerySpec{Mode: ModeConditional, Terminals: []int{0, 26, 39}, Evidence: obs}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Reliability(conditionByHand(t, g, obs), []int{0, 26, 39}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "conditional vs conditioned graph", cond, plain)
+}
+
+// TestConditionalEvidenceCanonicalization: evidence order and duplicate
+// observations must not be visible in the result (the spec is canonicalized
+// before signing and conditioning).
+func TestConditionalEvidenceCanonicalization(t *testing.T) {
+	g := specSweepGraph(t)
+	opts := []Option{WithSamples(2000), WithSeed(9)}
+	a, err := Solve(g, QuerySpec{
+		Mode:      ModeConditional,
+		Terminals: []int{0, 39},
+		Evidence:  []EdgeObservation{{Edge: 50, Up: false}, {Edge: 3, Up: true}},
+	}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(g, QuerySpec{
+		Mode:      ModeConditional,
+		Terminals: []int{39, 0},
+		Evidence:  []EdgeObservation{{Edge: 3, Up: true}, {Edge: 50, Up: false}, {Edge: 3, Up: true}},
+	}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "evidence canonicalization", a, b)
+}
+
+// mixedModeQueries is the sweep's batch: terminal-set and conditional specs
+// interleaved, with duplicates of both (one spelled with permuted evidence).
+func mixedModeQueries() []Query {
+	obs := []EdgeObservation{{Edge: 12, Up: true}, {Edge: 80, Up: false}}
+	return []Query{
+		{Terminals: []int{0, 13}},
+		{Mode: ModeConditional, Terminals: []int{0, 13}, Evidence: obs},
+		{Terminals: []int{5, 26, 39}},
+		{Terminals: []int{13, 0}}, // duplicate of 0 (canonicalized)
+		{Mode: ModeConditional, Terminals: []int{13, 0}, // duplicate of 1
+			Evidence: []EdgeObservation{{Edge: 80, Up: false}, {Edge: 12, Up: true}}},
+		{Mode: ModeConditional, Terminals: []int{5, 39}, Evidence: []EdgeObservation{{Edge: 0, Up: false}}},
+		{Terminals: []int{0, 13}}, // duplicate of 0, verbatim
+	}
+}
+
+// TestMixedModeBatchDeterminism is the acceptance sweep: a batch mixing
+// terminal-set queries, conditional queries, and duplicates of both must be
+// bit-identical to solving each query alone, for workers ∈ {1, 4,
+// GOMAXPROCS} — dedup across modes must never be visible in the results.
+func TestMixedModeBatchDeterminism(t *testing.T) {
+	g := specSweepGraph(t)
+	queries := mixedModeQueries()
+
+	// Sequential baseline: each query alone, cache disabled so nothing is
+	// shared between the standalone solves either.
+	baseline := make([]*Result, len(queries))
+	for i, q := range queries {
+		s := NewSession(g)
+		s.SetCacheCapacity(0)
+		r, err := s.Solve(q, WithSamples(2000), WithSeed(7), WithWorkers(1))
+		if err != nil {
+			t.Fatalf("baseline query %d: %v", i, err)
+		}
+		baseline[i] = r
+	}
+
+	for _, w := range workerCounts() {
+		s := NewSession(g)
+		s.SetCacheCapacity(0)
+		results, err := s.BatchReliability(queries, WithSamples(2000), WithSeed(7), WithWorkers(w))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i := range queries {
+			assertSameResult(t, fmt.Sprintf("workers=%d query=%d", w, i), baseline[i], results[i])
+		}
+		ps := s.PlanStats()
+		if ps.Queries != uint64(len(queries)) {
+			t.Fatalf("workers=%d: PlanStats.Queries = %d, want %d", w, ps.Queries, len(queries))
+		}
+		// 7 queries, 4 distinct specs: dedup must collapse the duplicates,
+		// including the conditional one spelled with permuted evidence.
+		if ps.Planned != 4 {
+			t.Fatalf("workers=%d: planned %d distinct specs, want 4", w, ps.Planned)
+		}
+		if ps.UniqueSubproblems > ps.TotalSubproblems {
+			t.Fatalf("workers=%d: unique %d > total %d", w, ps.UniqueSubproblems, ps.TotalSubproblems)
+		}
+	}
+}
+
+// TestTopKReliableMatchesSingles: each ranked entry must be bit-identical
+// to issuing its candidate query alone, the ranking must be sorted by
+// Log10 descending (vertex ascending on ties), and the whole ranking must
+// be worker-count independent.
+func TestTopKReliableMatchesSingles(t *testing.T) {
+	g := denseRandomGraph(t, 16, 40, 4)
+	spec := QuerySpec{Mode: ModeTopK, Terminals: []int{0}, K: 5}
+	opts := func(w int) []Option {
+		return []Option{WithSamples(2000), WithSeed(5), WithWorkers(w)}
+	}
+
+	base, err := NewSession(g).TopKReliable(spec, opts(1)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != 5 {
+		t.Fatalf("got %d entries, want 5", len(base))
+	}
+	for i, e := range base {
+		if e.Vertex == 0 {
+			t.Fatalf("entry %d ranks the base terminal itself", i)
+		}
+		if i > 0 {
+			prev := base[i-1]
+			if e.Result.Log10 > prev.Result.Log10 ||
+				(e.Result.Log10 == prev.Result.Log10 && e.Vertex < prev.Vertex) {
+				t.Fatalf("ranking out of order at %d: (%v,%d) after (%v,%d)",
+					i, e.Result.Log10, e.Vertex, prev.Result.Log10, prev.Vertex)
+			}
+		}
+		single := NewSession(g)
+		single.SetCacheCapacity(0)
+		alone, err := single.Reliability([]int{0, e.Vertex}, opts(1)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResult(t, fmt.Sprintf("topk entry %d (vertex %d)", i, e.Vertex), alone, e.Result)
+	}
+
+	for _, w := range workerCounts() {
+		got, err := NewSession(g).TopKReliable(spec, opts(w)...)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: %d entries, want %d", w, len(got), len(base))
+		}
+		for i := range got {
+			if got[i].Vertex != base[i].Vertex {
+				t.Fatalf("workers=%d: rank %d is vertex %d, want %d", w, i, got[i].Vertex, base[i].Vertex)
+			}
+			assertSameResult(t, fmt.Sprintf("workers=%d rank=%d", w, i), base[i].Result, got[i].Result)
+		}
+	}
+}
+
+// TestTopKConditional: a conditioned top-k entry equals its conditional
+// candidate query issued alone.
+func TestTopKConditional(t *testing.T) {
+	g := denseRandomGraph(t, 16, 40, 4)
+	obs := []EdgeObservation{{Edge: 2, Up: false}, {Edge: 9, Up: true}}
+	s := NewSession(g)
+	entries, err := s.TopKReliable(QuerySpec{Mode: ModeTopK, Terminals: []int{0}, Evidence: obs, K: 3},
+		WithSamples(2000), WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("got %d entries, want 3", len(entries))
+	}
+	for i, e := range entries {
+		alone, err := Solve(g, QuerySpec{
+			Mode:      ModeConditional,
+			Terminals: []int{0, e.Vertex},
+			Evidence:  obs,
+		}, WithSamples(2000), WithSeed(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResult(t, fmt.Sprintf("conditioned topk entry %d", i), alone, e.Result)
+	}
+}
+
+// TestTopKTruncation: K larger than the candidate pool returns every
+// candidate; a base set covering all vertices returns an empty ranking.
+func TestTopKTruncation(t *testing.T) {
+	g := denseRandomGraph(t, 8, 14, 2)
+	s := NewSession(g)
+	all, err := s.TopKReliable(QuerySpec{Mode: ModeTopK, Terminals: []int{0}, K: 100},
+		WithSamples(500), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != g.N()-1 {
+		t.Fatalf("K over pool: got %d entries, want %d", len(all), g.N()-1)
+	}
+	everything := make([]int, g.N())
+	for v := range everything {
+		everything[v] = v
+	}
+	none, err := s.TopKReliable(QuerySpec{Mode: ModeTopK, Terminals: everything, K: 3},
+		WithSamples(500), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none == nil || len(none) != 0 {
+		t.Fatalf("full base set: got %v, want empty non-nil ranking", none)
+	}
+}
+
+// TestQuerySpecValidation covers the spec-shape errors of every entry
+// point: bad modes, misplaced fields, and malformed evidence.
+func TestQuerySpecValidation(t *testing.T) {
+	g := specSweepGraph(t)
+	s := NewSession(g)
+	opts := []Option{WithSamples(100), WithSeed(1)}
+
+	if _, err := s.Solve(QuerySpec{Mode: ModeTopK, Terminals: []int{0}, K: 2}, opts...); !errors.Is(err, ErrTopKNotSingle) {
+		t.Fatalf("Solve(topk): err = %v, want ErrTopKNotSingle", err)
+	}
+	if _, err := s.BatchReliability([]Query{{Mode: ModeTopK, Terminals: []int{0}, K: 2}}, opts...); !errors.Is(err, ErrTopKNotSingle) {
+		t.Fatalf("Batch(topk): err = %v, want ErrTopKNotSingle", err)
+	}
+	if _, err := s.Solve(QuerySpec{Mode: QueryMode(42), Terminals: []int{0}}, opts...); !errors.Is(err, ErrQueryMode) {
+		t.Fatalf("unknown mode: err = %v, want ErrQueryMode", err)
+	}
+	if _, err := s.Solve(QuerySpec{Terminals: []int{0, 1}, Evidence: []EdgeObservation{{Edge: 0, Up: true}}}, opts...); err == nil {
+		t.Fatal("evidence in terminal-set mode: want error")
+	}
+	if _, err := s.Solve(QuerySpec{Terminals: []int{0, 1}, K: 3}, opts...); err == nil {
+		t.Fatal("K in terminal-set mode: want error")
+	}
+	if _, err := s.Solve(QuerySpec{
+		Mode: ModeConditional, Terminals: []int{0, 1},
+		Evidence: []EdgeObservation{{Edge: 3, Up: true}, {Edge: 3, Up: false}},
+	}, opts...); !errors.Is(err, preprocess.ErrObservationConflict) {
+		t.Fatal("conflicting evidence: want ErrObservationConflict")
+	}
+	if _, err := s.Solve(QuerySpec{
+		Mode: ModeConditional, Terminals: []int{0, 1},
+		Evidence: []EdgeObservation{{Edge: g.M(), Up: true}},
+	}, opts...); !errors.Is(err, preprocess.ErrObservationRange) {
+		t.Fatal("out-of-range evidence: want ErrObservationRange")
+	}
+	if _, err := s.TopKReliable(QuerySpec{Terminals: []int{0}, K: 2}, opts...); err == nil {
+		t.Fatal("TopKReliable without ModeTopK: want error")
+	}
+	if _, err := s.TopKReliable(QuerySpec{Mode: ModeTopK, Terminals: []int{0}}, opts...); err == nil {
+		t.Fatal("TopKReliable with K=0: want error")
+	}
+}

@@ -1,0 +1,110 @@
+package netrel
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"netrel/internal/preprocess"
+	"netrel/internal/ugraph"
+)
+
+// TopKEntry is one ranked candidate of a top-k reliable search: the vertex
+// whose addition to the spec's base terminal set was evaluated, and the full
+// Result of that candidate query.
+type TopKEntry struct {
+	Vertex int
+	Result *Result
+}
+
+// TopKReliable answers a ModeTopK spec: it ranks every vertex v outside the
+// spec's base terminal set by the reliability of Terminals ∪ {v} and returns
+// the K most reliable candidates, best first. With Evidence set, every
+// candidate is evaluated conditionally under that evidence.
+//
+// The search is one deduplicated batch over the candidate specs, so it
+// shares plans and subproblems exactly like BatchReliability — a top-k scan
+// over a graph whose candidates fall in the same 2ECC chains costs far less
+// than |V| independent queries — and each entry's Result is bit-identical to
+// issuing its candidate query alone with the same options. Ranking compares
+// Log10 (valid below float64 underflow) descending, then vertex ascending,
+// so the order is deterministic; fewer than K candidates returns them all.
+func (s *Session) TopKReliable(spec QuerySpec, opts ...Option) ([]TopKEntry, error) {
+	return s.TopKReliableContext(context.Background(), spec, opts...)
+}
+
+// TopKReliableContext is TopKReliable with cancellation and admission: the
+// candidate batch is one admission unit with two-phase batch pricing (see
+// BatchReliabilityContext), and cancellation propagates into its planning
+// and solve phases. ctx never affects the ranking an uncancelled run
+// computes.
+func (s *Session) TopKReliableContext(ctx context.Context, spec QuerySpec, opts ...Option) ([]TopKEntry, error) {
+	if spec.Mode != ModeTopK {
+		return nil, fmt.Errorf("netrel: TopKReliable requires %v mode, got %v", ModeTopK, spec.Mode)
+	}
+	if spec.K <= 0 {
+		return nil, fmt.Errorf("netrel: topk requires K > 0, got %d", spec.K)
+	}
+	// Validate the base terminals and evidence up front, against the spec
+	// itself — failing inside the expanded batch would blame a candidate
+	// index the caller never wrote.
+	ts, err := ugraph.NewTerminals(s.g.internal(), spec.Terminals)
+	if err != nil {
+		return nil, err
+	}
+	obsIn := make([]preprocess.Observation, len(spec.Evidence))
+	for i, ev := range spec.Evidence {
+		obsIn[i] = preprocess.Observation{Edge: ev.Edge, Up: ev.Up}
+	}
+	if _, err := preprocess.NormalizeObservations(s.g.internal(), obsIn); err != nil {
+		return nil, err
+	}
+
+	// Expand into one candidate query per vertex outside the base set. The
+	// candidates are ordinary single-result specs (terminal-set, or
+	// conditional when evidence is present), so the batch's dedup, seeding
+	// and determinism guarantees apply unchanged.
+	inBase := make([]bool, s.g.internal().N())
+	for _, t := range ts {
+		inBase[t] = true
+	}
+	candMode := ModeTerminalSet
+	if len(spec.Evidence) > 0 {
+		candMode = ModeConditional
+	}
+	var vertices []int
+	var queries []Query
+	for v := 0; v < s.g.internal().N(); v++ {
+		if inBase[v] {
+			continue
+		}
+		terms := make([]int, 0, len(ts)+1)
+		terms = append(terms, ts...)
+		terms = append(terms, v)
+		vertices = append(vertices, v)
+		queries = append(queries, Query{Mode: candMode, Terminals: terms, Evidence: spec.Evidence})
+	}
+	if len(queries) == 0 {
+		return []TopKEntry{}, nil
+	}
+
+	results, err := s.BatchReliabilityContext(ctx, queries, opts...)
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]TopKEntry, len(results))
+	for i, r := range results {
+		entries[i] = TopKEntry{Vertex: vertices[i], Result: r}
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		a, b := entries[i].Result.Log10, entries[j].Result.Log10
+		if a != b {
+			return a > b
+		}
+		return entries[i].Vertex < entries[j].Vertex
+	})
+	if len(entries) > spec.K {
+		entries = entries[:spec.K]
+	}
+	return entries, nil
+}
