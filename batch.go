@@ -8,6 +8,7 @@ import (
 	"netrel/internal/batch"
 	"netrel/internal/core"
 	"netrel/internal/preprocess"
+	"netrel/internal/telemetry"
 )
 
 // Query is one reliability query in a batch. It is the QuerySpec shape
@@ -81,13 +82,22 @@ func (s *Session) BatchReliabilityContext(ctx context.Context, queries []Query, 
 		return []*Result{}, nil
 	}
 
+	ctx, tr := ensureTrace(ctx, o)
+
 	// Resolve every spec up front — validation plus canonicalization is
 	// cheap (conditioning is one O(|E|) graph rewrite), it is what
 	// plan-level dedup keys on, and it fails invalid queries (naming the
-	// offender) before the batch occupies an admission slot.
+	// offender) before the batch occupies an admission slot. Conditional
+	// specs' evidence rewrites are recorded as one aggregate PhaseCondition
+	// span.
 	specs := make([]*resolvedSpec, len(queries))
 	sigs := make([]preprocess.Signature, len(queries))
 	needIdx := false
+	conditioned := false
+	var resolveStart time.Time
+	if tr != nil {
+		resolveStart = time.Now()
+	}
 	for i, q := range queries {
 		rs, err := resolveSpec(s.g, q)
 		if err != nil {
@@ -95,9 +105,14 @@ func (s *Session) BatchReliabilityContext(ctx context.Context, queries []Query, 
 		}
 		specs[i] = rs
 		sigs[i] = rs.planSig
-		if !rs.conditioned {
+		if rs.conditioned {
+			conditioned = true
+		} else {
 			needIdx = true
 		}
+	}
+	if tr != nil && conditioned {
+		tr.Add(telemetry.PhaseCondition, time.Since(resolveStart))
 	}
 	dd := batch.DedupSpecs(sigs)
 
@@ -111,7 +126,9 @@ func (s *Session) BatchReliabilityContext(ctx context.Context, queries []Query, 
 	// (or fetched) only when some spec actually runs on the base graph.
 	var idx *preprocess.Index
 	if needIdx {
+		done := tr.Span(telemetry.PhaseIndex)
 		idx, err = s.indexContext(ctx)
+		done()
 		if err != nil {
 			return nil, err
 		}
@@ -166,6 +183,12 @@ func (s *Session) BatchReliabilityContext(ctx context.Context, queries []Query, 
 	s.planPlanned.Add(uint64(dd.Distinct()))
 	s.planUnique.Add(uint64(len(plan.Unique)))
 	s.planTotal.Add(uint64(totalJobs))
+	if tr != nil {
+		tr.Annotate(telemetry.AnnotQueriesPlanned, int64(dd.Distinct()))
+		tr.Annotate(telemetry.AnnotQueriesDeduped, int64(len(queries)-dd.Distinct()))
+		tr.Annotate(telemetry.AnnotSubproblems, int64(totalJobs))
+		tr.Annotate(telemetry.AnnotSubproblemsDeduped, int64(totalJobs-len(plan.Unique)))
+	}
 
 	// Admission phase 2: reprice at the post-dedup solve cost now that the
 	// unique-subproblem count is known. The slot is kept either way.
@@ -187,6 +210,7 @@ func (s *Session) BatchReliabilityContext(ctx context.Context, queries []Query, 
 	// Recombine each distinct plan's product from the shared results once,
 	// in the plan's own job order; combineResults writes into the plan's
 	// partial result in place.
+	combineDone := tr.Span(telemetry.PhaseCombine)
 	for d, p := range plans {
 		if p.done {
 			continue // p.out is already final (Duration = planDur)
@@ -206,11 +230,20 @@ func (s *Session) BatchReliabilityContext(ctx context.Context, queries []Query, 
 		}
 	}
 
+	combineDone()
+
 	// Fan the combined results out to the queries: every query — duplicates
-	// included — gets its own clone, so no two Results alias storage.
+	// included — gets its own clone, so no two Results alias storage. Under
+	// WithTrace every Result carries its own copy of the batch-wide phase
+	// breakdown (phases are batch-scoped: one shared solve served them all).
+	var phases *PhaseBreakdown
+	if tr != nil && o.trace {
+		phases = newPhaseBreakdown(tr.Snapshot())
+	}
 	out := make([]*Result, len(queries))
 	for i := range queries {
 		out[i] = plans[dd.Slot[i]].cloneOut()
+		out[i].Phases = phases.clone()
 	}
 	return out, nil
 }

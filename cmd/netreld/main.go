@@ -20,8 +20,9 @@
 //
 // Endpoints:
 //
-//	GET    /healthz            liveness probe
-//	GET    /v1/stats           engine gauges + per-graph counters and caches
+//	GET    /healthz            liveness/readiness probe (503 "draining" during shutdown)
+//	GET    /metrics            Prometheus text exposition of the full catalogue
+//	GET    /v1/stats           engine gauges + per-graph counters, caches, phase times
 //	GET    /v1/graphs          list registered graphs
 //	POST   /v1/graphs          register {"name":"g2","tsv":"..."} or
 //	                           {"name":"g2","dataset":"Karate","scale":"small"}
@@ -41,8 +42,19 @@
 // are deterministic per seed regardless of concurrency, pool size, or
 // worker count. Request contexts propagate into the solver, so a client
 // that disconnects cancels its computation at the next chunk boundary. On
-// SIGINT/SIGTERM the daemon drains: queued requests get 503s immediately,
-// in-flight queries finish (up to -drain), then the listener closes.
+// SIGINT/SIGTERM the daemon drains: /healthz flips to 503 "draining",
+// queued requests get 503s immediately, in-flight queries finish (up to
+// -drain), then the listener closes.
+//
+// Observability: every query request may set "trace": true to receive a
+// per-phase wall-clock breakdown alongside its result; tracing is
+// observation-only, so traced and untraced results are bit-identical per
+// seed. Each response carries an X-Request-Id (echoing the client's, if
+// given) that correlates with the structured request log on stderr; queries
+// slower than -slowquery are logged at warn level with their phase times.
+// GET /metrics serves the Prometheus catalogue — engine admission, per-graph
+// caches and planner dedup, per-graph-per-mode latency histograms, and phase
+// seconds — and -debugaddr exposes net/http/pprof on a separate listener.
 package main
 
 import (
@@ -51,9 +63,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"math"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -64,6 +78,7 @@ import (
 
 	"netrel"
 	"netrel/datasets"
+	"netrel/internal/telemetry"
 )
 
 func main() {
@@ -87,8 +102,19 @@ func main() {
 		maxBody    = flag.Int64("maxbody", 8<<20, "request body size cap in bytes")
 		maxGraphs  = flag.Int("maxgraphs", 64, "max registered graphs (0 = no cap)")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+		slowQuery  = flag.Duration("slowquery", time.Second, "log queries slower than this at warn level (0 disables)")
+		debugAddr  = flag.String("debugaddr", "", "pprof debug listen address, kept off the serving port (empty disables)")
+		logLevel   = flag.String("loglevel", "info", "log level: debug|info|warn|error")
 	)
 	flag.Parse()
+
+	level, err := parseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netreld:", err)
+		os.Exit(1)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
 
 	g, source, err := loadGraph(*graphPath, *dataset, *scale, *dataSeed)
 	if err != nil {
@@ -111,7 +137,8 @@ func main() {
 		maxBody:    *maxBody,
 		maxGraphs:  *maxGraphs,
 		cacheCap:   *cacheCap,
-	})
+		slowQuery:  *slowQuery,
+	}, logger)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "netreld:", err)
 		os.Exit(1)
@@ -120,8 +147,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "netreld:", err)
 		os.Exit(1)
 	}
-	log.Printf("netreld: serving %s (n=%d, m=%d) on %s (pool=%d inflight=%d queue=%d)",
-		source, g.N(), g.M(), *addr, eng.Stats().Workers, *inFlight, *queue)
+	logger.Info("serving",
+		"source", source, "vertices", g.N(), "edges", g.M(), "addr", *addr,
+		"pool", eng.Stats().Workers, "inflight", *inFlight, "queue", *queue)
 	hs := &http.Server{
 		Addr:    *addr,
 		Handler: srv.handler(),
@@ -132,8 +160,29 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 
+	// The pprof listener stays off the serving address: profiles are an
+	// operator tool, not part of the public API, and binding them
+	// separately keeps them firewallable.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", netpprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+		ds := &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		defer ds.Close()
+		go func() {
+			logger.Info("pprof listening", "addr", *debugAddr)
+			if err := ds.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof listener failed", "error", err.Error())
+			}
+		}()
+	}
+
 	// Graceful shutdown: on SIGINT/SIGTERM, stop admitting (queued
-	// requests 503 immediately via the engine drain), let in-flight
+	// requests 503 immediately via the engine drain, /healthz flips to
+	// 503 "draining" so load balancers stop routing here), let in-flight
 	// queries finish within the drain timeout, then close the listener.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -141,18 +190,34 @@ func main() {
 	go func() { errCh <- hs.ListenAndServe() }()
 	select {
 	case err := <-errCh:
-		log.Fatal(err)
+		logger.Error("listener failed", "error", err.Error())
+		os.Exit(1)
 	case <-ctx.Done():
 	}
-	log.Printf("netreld: signal received, draining (timeout %s)", *drain)
+	logger.Info("signal received, draining", "timeout", drain.String())
 	srv.drain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
-		log.Printf("netreld: drain timeout exceeded: %v", err)
+		logger.Warn("drain timeout exceeded", "error", err.Error())
 	}
 	eng.Close()
-	log.Printf("netreld: bye")
+	logger.Info("bye")
+}
+
+// parseLogLevel maps the -loglevel flag to a slog level.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", s)
 }
 
 // defaultGraphName is the registry key of the graph loaded at startup and
@@ -195,6 +260,7 @@ type defaults struct {
 	maxBody    int64
 	maxGraphs  int
 	cacheCap   int
+	slowQuery  time.Duration
 }
 
 // graphCounters tracks per-graph request outcomes, including how many
@@ -223,11 +289,14 @@ func (c *graphCounters) countMode(m netrel.QueryMode, n uint64) {
 	}
 }
 
-// server owns the registry, the engine, and the per-graph counters.
+// server owns the registry, the engine, the metrics catalogue, and the
+// per-graph counters.
 type server struct {
 	reg      *netrel.Registry
 	eng      *netrel.Engine
 	def      defaults
+	logger   *slog.Logger
+	metrics  *serverMetrics
 	started  time.Time
 	draining atomic.Bool
 
@@ -235,19 +304,28 @@ type server struct {
 	counters map[string]*graphCounters
 }
 
-func newServer(eng *netrel.Engine, def defaults) (*server, error) {
+// newServer builds the server around the engine. A nil logger discards logs
+// (the test configuration); netreld's main passes its structured logger.
+func newServer(eng *netrel.Engine, def defaults, logger *slog.Logger) (*server, error) {
 	if def.maxBody <= 0 {
 		return nil, errors.New("maxbody must be positive")
 	}
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	reg := netrel.NewRegistry(eng)
 	reg.SetCacheCapacity(def.cacheCap)
-	return &server{
+	s := &server{
 		reg:      reg,
 		eng:      eng,
 		def:      def,
+		logger:   logger,
+		metrics:  newServerMetrics(),
 		started:  time.Now(),
 		counters: make(map[string]*graphCounters),
-	}, nil
+	}
+	s.initMetrics()
+	return s, nil
 }
 
 // errGraphLimit reports a registration refused because -maxgraphs tenants
@@ -267,7 +345,11 @@ func (s *server) register(name, source string, g *netrel.Graph) error {
 	if err := s.reg.Register(name, source, g); err != nil {
 		return err
 	}
-	s.counters[name] = &graphCounters{}
+	c := &graphCounters{}
+	s.counters[name] = c
+	if sess, err := s.reg.Session(name); err == nil {
+		s.registerGraphMetrics(name, sess, c)
+	}
 	return nil
 }
 
@@ -287,6 +369,7 @@ func (s *server) drain() {
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
 	mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
@@ -294,7 +377,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/reliability", s.handleReliability)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/topk", s.handleTopK)
-	return mux
+	return s.instrument(mux)
 }
 
 // evidenceJSON is one edge observation of a conditional (or conditioned
@@ -318,6 +401,7 @@ type queryRequest struct {
 	Workers   int            `json:"workers,omitempty"`
 	Estimator string         `json:"estimator,omitempty"` // "mc" (default) or "ht"
 	Exact     bool           `json:"exact,omitempty"`
+	Trace     bool           `json:"trace,omitempty"` // include a phase breakdown in the result
 }
 
 type batchRequest struct {
@@ -332,6 +416,7 @@ type batchRequest struct {
 	Seed      uint64 `json:"seed,omitempty"`
 	Workers   int    `json:"workers,omitempty"`
 	Estimator string `json:"estimator,omitempty"`
+	Trace     bool   `json:"trace,omitempty"` // batch-scoped breakdown, echoed on every result
 }
 
 // topkRequest ranks the k most reliable extension vertices of a base
@@ -346,6 +431,7 @@ type topkRequest struct {
 	Seed      uint64         `json:"seed,omitempty"`
 	Workers   int            `json:"workers,omitempty"`
 	Estimator string         `json:"estimator,omitempty"`
+	Trace     bool           `json:"trace,omitempty"` // scan-wide breakdown, echoed on every entry
 }
 
 // registerRequest registers a new graph: either inline TSV content or a
@@ -360,16 +446,17 @@ type registerRequest struct {
 
 // queryResponse serializes a netrel.Result.
 type queryResponse struct {
-	Reliability float64  `json:"reliability"`
-	Log10       *float64 `json:"log10,omitempty"` // omitted when -Inf (R = 0)
-	Lower       float64  `json:"lower"`
-	Upper       float64  `json:"upper"`
-	Exact       bool     `json:"exact"`
-	Variance    float64  `json:"variance"`
-	SamplesUsed int      `json:"samples_used"`
-	Subproblems int      `json:"subproblems"`
-	Bridges     int      `json:"bridges,omitempty"`
-	DurationMS  float64  `json:"duration_ms"`
+	Reliability float64     `json:"reliability"`
+	Log10       *float64    `json:"log10,omitempty"` // omitted when -Inf (R = 0)
+	Lower       float64     `json:"lower"`
+	Upper       float64     `json:"upper"`
+	Exact       bool        `json:"exact"`
+	Variance    float64     `json:"variance"`
+	SamplesUsed int         `json:"samples_used"`
+	Subproblems int         `json:"subproblems"`
+	Bridges     int         `json:"bridges,omitempty"`
+	DurationMS  float64     `json:"duration_ms"`
+	Phases      *phasesJSON `json:"phases,omitempty"` // only when the request set "trace"
 }
 
 type cacheResponse struct {
@@ -411,6 +498,10 @@ type graphStatsResponse struct {
 	Modes          modesResponse   `json:"modes"`
 	Cache          cacheResponse   `json:"cache"`
 	Planner        plannerResponse `json:"planner"`
+	// PhaseSeconds is the graph's accumulated pipeline phase wall-clock
+	// (the /v1/stats view of netrel_phase_seconds_total); omitted until a
+	// query has run.
+	PhaseSeconds map[string]float64 `json:"phase_seconds,omitempty"`
 }
 
 type engineStatsResponse struct {
@@ -426,6 +517,11 @@ type engineStatsResponse struct {
 	RejectedDraining  uint64 `json:"rejected_draining"`
 	CanceledWaiting   uint64 `json:"canceled_waiting"`
 	Repriced          uint64 `json:"repriced"`
+	// AdmissionWaits counts admissions that queued for a token;
+	// AdmissionWaitMS is their summed queue wait — together, the mean
+	// admission latency under saturation.
+	AdmissionWaits  uint64  `json:"admission_waits"`
+	AdmissionWaitMS float64 `json:"admission_wait_ms"`
 }
 
 func toResponse(r *netrel.Result) queryResponse {
@@ -446,6 +542,7 @@ func toResponse(r *netrel.Result) queryResponse {
 	if r.Preprocess != nil {
 		out.Bridges = r.Preprocess.Bridges
 	}
+	out.Phases = toPhases(r.Phases)
 	return out
 }
 
@@ -486,6 +583,8 @@ func (s *server) engineResponse() engineStatsResponse {
 		RejectedDraining:  st.RejectedDraining,
 		CanceledWaiting:   st.CanceledWaiting,
 		Repriced:          st.Repriced,
+		AdmissionWaits:    st.Waited,
+		AdmissionWaitMS:   float64(st.WaitedNanos) / 1e6,
 	}
 }
 
@@ -585,9 +684,16 @@ func toEvidence(evidence []evidenceJSON) []netrel.EdgeObservation {
 	return obs
 }
 
+// handleHealthz reports liveness — and readiness: once the drain has begun
+// the probe flips to 503 "draining", so load balancers stop routing new
+// requests here while in-flight queries finish.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -600,12 +706,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			continue // evicted between List and Session
 		}
 		g := graphStatsResponse{
-			Source:     info.Source,
-			Vertices:   info.Vertices,
-			Edges:      info.Edges,
-			IndexBuilt: info.IndexBuilt,
-			Cache:      toCacheResponse(sess.CacheStats()),
-			Planner:    toPlannerResponse(sess.PlanStats()),
+			Source:       info.Source,
+			Vertices:     info.Vertices,
+			Edges:        info.Edges,
+			IndexBuilt:   info.IndexBuilt,
+			Cache:        toCacheResponse(sess.CacheStats()),
+			Planner:      toPlannerResponse(sess.PlanStats()),
+			PhaseSeconds: s.phaseSeconds(info.Name),
 		}
 		if c := s.countersFor(info.Name); c != nil {
 			g.Queries = c.queries.Load()
@@ -726,6 +833,7 @@ func (s *server) handleEvictGraph(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	delete(s.counters, name)
 	s.mu.Unlock()
+	s.pruneGraphMetrics(name)
 	writeJSON(w, http.StatusOK, map[string]any{"evicted": name})
 }
 
@@ -756,14 +864,25 @@ func (s *server) handleReliability(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if req.Trace {
+		opts = append(opts, netrel.WithTrace())
+	}
 	spec := netrel.QuerySpec{Mode: mode, Terminals: req.Terminals, Evidence: toEvidence(req.Evidence)}
 	c := s.countersFor(name)
+	// Every request carries a telemetry trace — it feeds the per-graph
+	// phase and latency metrics and the slow-query log; "trace": true
+	// additionally echoes the breakdown on the result. Observation-only:
+	// results are bit-identical either way.
+	tr := telemetry.New()
+	ctx := telemetry.NewContext(r.Context(), tr)
+	start := time.Now()
 	var res *netrel.Result
 	if req.Exact {
-		res, err = sess.SolveExactContext(r.Context(), spec, opts...)
+		res, err = sess.SolveExactContext(ctx, spec, opts...)
 	} else {
-		res, err = sess.SolveContext(r.Context(), spec, opts...)
+		res, err = sess.SolveContext(ctx, spec, opts...)
 	}
+	elapsed := time.Since(start)
 	if err != nil {
 		if c != nil {
 			c.failures.Add(1)
@@ -775,6 +894,8 @@ func (s *server) handleReliability(w http.ResponseWriter, r *http.Request) {
 		c.queries.Add(1)
 		c.countMode(mode, 1)
 	}
+	s.recordQuery(name, mode.String(), tr, elapsed)
+	s.logSlow(ctx, name, mode.String(), tr, elapsed)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"graph":  name,
 		"mode":   mode.String(),
@@ -810,6 +931,9 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if req.Trace {
+		opts = append(opts, netrel.WithTrace())
+	}
 	queries := make([]netrel.Query, len(req.Queries))
 	modes := make([]netrel.QueryMode, len(req.Queries))
 	for i, q := range req.Queries {
@@ -828,6 +952,8 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	c := s.countersFor(name)
 	before := sess.CacheStats()
 	planBefore := sess.PlanStats()
+	tr := telemetry.New()
+	ctx := telemetry.NewContext(r.Context(), tr)
 	start := time.Now()
 	// Admission happens inside BatchReliabilityContext in two phases: the
 	// batch's planning cost (one unit per distinct terminal set) is checked
@@ -835,7 +961,8 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// unique subproblems, never more than distinct terminal sets × (samples
 	// + construction budget) — directly after it. Either phase over the cap
 	// rejects the batch with an error naming the limit before any solving.
-	results, err := sess.BatchReliabilityContext(r.Context(), queries, opts...)
+	results, err := sess.BatchReliabilityContext(ctx, queries, opts...)
+	elapsed := time.Since(start)
 	if err != nil {
 		if c != nil {
 			c.failures.Add(1)
@@ -852,6 +979,8 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			c.countMode(m, 1)
 		}
 	}
+	s.recordQuery(name, "batch", tr, elapsed)
+	s.logSlow(ctx, name, "batch", tr, elapsed)
 	out := make([]queryResponse, len(results))
 	for i, r := range results {
 		out[i] = toResponse(r)
@@ -868,7 +997,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"graph":           name,
 		"results":         out,
-		"duration_ms":     float64(time.Since(start)) / float64(time.Millisecond),
+		"duration_ms":     float64(elapsed) / float64(time.Millisecond),
 		"cache_hits":      after.Hits - before.Hits,
 		"cache_misses":    after.Misses - before.Misses,
 		"cache":           toCacheResponse(after),
@@ -912,6 +1041,9 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if req.Trace {
+		opts = append(opts, netrel.WithTrace())
+	}
 	spec := netrel.QuerySpec{
 		Mode:      netrel.ModeTopK,
 		Terminals: req.Terminals,
@@ -919,8 +1051,11 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		K:         req.K,
 	}
 	c := s.countersFor(name)
+	tr := telemetry.New()
+	ctx := telemetry.NewContext(r.Context(), tr)
 	start := time.Now()
-	entries, err := sess.TopKReliableContext(r.Context(), spec, opts...)
+	entries, err := sess.TopKReliableContext(ctx, spec, opts...)
+	elapsed := time.Since(start)
 	if err != nil {
 		if c != nil {
 			c.failures.Add(1)
@@ -932,6 +1067,8 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		c.queries.Add(1)
 		c.countMode(netrel.ModeTopK, 1)
 	}
+	s.recordQuery(name, "topk", tr, elapsed)
+	s.logSlow(ctx, name, "topk", tr, elapsed)
 	type topkEntry struct {
 		Vertex int           `json:"vertex"`
 		Result queryResponse `json:"result"`
@@ -945,7 +1082,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		"mode":        netrel.ModeTopK.String(),
 		"k":           req.K,
 		"results":     out,
-		"duration_ms": float64(time.Since(start)) / float64(time.Millisecond),
+		"duration_ms": float64(elapsed) / float64(time.Millisecond),
 	})
 }
 
@@ -1006,7 +1143,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		log.Printf("netreld: encoding response: %v", err)
+		slog.Warn("encoding response failed", "error", err.Error())
 	}
 }
 

@@ -37,7 +37,7 @@ func newTestServer(t *testing.T, eng *netrel.Engine, def defaults) (*server, *ht
 		eng = netrel.NewEngine(netrel.EngineConfig{})
 		t.Cleanup(eng.Close)
 	}
-	srv, err := newServer(eng, def)
+	srv, err := newServer(eng, def, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -678,7 +678,7 @@ func TestExactTooNarrowIsClientError(t *testing.T) {
 			}
 		}
 	}
-	srv, err := newServer(netrel.DefaultEngine(), testDefaults())
+	srv, err := newServer(netrel.DefaultEngine(), testDefaults(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,371 @@
+// netreld's observability layer: the Prometheus metrics catalogue served at
+// GET /metrics, the request-instrumentation middleware (X-Request-Id,
+// structured logs, HTTP counters), slow-query logging, and the wire shape of
+// traced phase breakdowns.
+//
+// The catalogue has two kinds of series. Counters the engine, the sessions,
+// and the per-graph request accounting already maintain are exposed as
+// scrape-time funcs — no double instrumentation, no new hot-path work.
+// Latency distributions (query duration by graph and mode, admission queue
+// wait) are real histograms observed once per answered request, and
+// per-graph phase time is accumulated from each request's telemetry trace.
+// Everything per-graph carries a graph label and is pruned when the graph is
+// evicted.
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netrel"
+	"netrel/internal/telemetry"
+)
+
+// queryModeLabels are the mode label values of the per-graph query metrics:
+// the three query modes plus "batch" — a batch request is observed once as a
+// unit, since its queries share one plan-and-solve pass.
+var queryModeLabels = []string{"terminal-set", "conditional", "topk", "batch"}
+
+// graphMetrics holds one graph's pre-created instruments: its latency
+// histograms by mode label and the phase-time accumulators behind its
+// netrel_phase_seconds_total series.
+type graphMetrics struct {
+	latency    map[string]*telemetry.Histogram
+	phaseNanos [telemetry.NumPhases]atomic.Int64
+}
+
+// serverMetrics owns the registry and the per-graph instrument tables.
+type serverMetrics struct {
+	reg           *telemetry.Registry
+	httpInFlight  *telemetry.Gauge
+	admissionWait *telemetry.Histogram
+
+	mu     sync.Mutex
+	http   map[int]*telemetry.Counter // netrel_http_requests_total by code
+	graphs map[string]*graphMetrics
+}
+
+func newServerMetrics() *serverMetrics {
+	reg := telemetry.NewRegistry()
+	return &serverMetrics{
+		reg:          reg,
+		httpInFlight: reg.Gauge("netrel_http_in_flight", "HTTP requests currently being served.", nil),
+		admissionWait: reg.Histogram("netrel_admission_wait_seconds",
+			"Engine admission queue wait of answered requests that had to queue.", nil, nil),
+		http:   make(map[int]*telemetry.Counter),
+		graphs: make(map[string]*graphMetrics),
+	}
+}
+
+// initMetrics registers the process- and engine-level series: gauges and
+// counters read from the engine's own accounting at scrape time. Per-graph
+// series are added by registerGraphMetrics and pruned on eviction.
+func (s *server) initMetrics() {
+	reg := s.metrics.reg
+	eng := s.eng
+	reg.GaugeFunc("netrel_uptime_seconds", "Seconds since the daemon started.", nil,
+		func() float64 { return time.Since(s.started).Seconds() })
+	reg.GaugeFunc("netrel_graphs", "Registered graphs.", nil,
+		func() float64 { return float64(s.reg.Len()) })
+	reg.GaugeFunc("netrel_engine_workers", "Engine worker-pool size.", nil,
+		func() float64 { return float64(eng.Stats().Workers) })
+	reg.GaugeFunc("netrel_engine_in_flight", "Admitted, unfinished requests.", nil,
+		func() float64 { return float64(eng.Stats().InFlight) })
+	reg.GaugeFunc("netrel_engine_queue_depth", "Requests waiting for admission.", nil,
+		func() float64 { return float64(eng.Stats().Queued) })
+	reg.CounterFunc("netrel_engine_pool_assists_total",
+		"Worker slots the pool executed on behalf of chunked phases.", nil,
+		func() float64 { return float64(eng.Stats().Assists) })
+	reg.CounterFunc("netrel_engine_admitted_total", "Requests admitted.", nil,
+		func() float64 { return float64(eng.Stats().Admitted) })
+	rejected := "Requests rejected at admission, by reason."
+	reg.CounterFunc("netrel_engine_rejected_total", rejected, telemetry.Labels{"reason": "queue_full"},
+		func() float64 { return float64(eng.Stats().RejectedQueueFull) })
+	reg.CounterFunc("netrel_engine_rejected_total", rejected, telemetry.Labels{"reason": "over_cost"},
+		func() float64 { return float64(eng.Stats().RejectedOverCost) })
+	reg.CounterFunc("netrel_engine_rejected_total", rejected, telemetry.Labels{"reason": "draining"},
+		func() float64 { return float64(eng.Stats().RejectedDraining) })
+	reg.CounterFunc("netrel_engine_canceled_waiting_total",
+		"Requests whose context ended while queued for admission.", nil,
+		func() float64 { return float64(eng.Stats().CanceledWaiting) })
+	reg.CounterFunc("netrel_engine_repriced_total",
+		"Batches whose post-dedup solve cost passed second-phase admission.", nil,
+		func() float64 { return float64(eng.Stats().Repriced) })
+	reg.CounterFunc("netrel_engine_admission_waits_total",
+		"Admissions that queued for a token.", nil,
+		func() float64 { return float64(eng.Stats().Waited) })
+	reg.CounterFunc("netrel_engine_admission_wait_seconds_total",
+		"Summed admission queue wait — with netrel_engine_admission_waits_total, the mean wait under saturation.", nil,
+		func() float64 { return float64(eng.Stats().WaitedNanos) / 1e9 })
+}
+
+// registerGraphMetrics creates a freshly registered graph's series: funcs
+// over its request counters, cache, and batch planner, plus the latency
+// histograms and phase-time counters the request path observes into. Safe to
+// call again for a re-registered name — registration is idempotent, and
+// pruneGraphMetrics cleared the old series on evict.
+func (s *server) registerGraphMetrics(name string, sess *netrel.Session, c *graphCounters) {
+	m := s.metrics
+	reg := m.reg
+	gl := telemetry.Labels{"graph": name}
+	counterFn := func(metric, help string, load func() uint64) {
+		reg.CounterFunc(metric, help, gl, func() float64 { return float64(load()) })
+	}
+	queries := "Queries answered, by mode (a topk request counts once)."
+	reg.CounterFunc("netrel_queries_total", queries, telemetry.Labels{"graph": name, "mode": "terminal-set"},
+		func() float64 { return float64(c.modeTerminalSet.Load()) })
+	reg.CounterFunc("netrel_queries_total", queries, telemetry.Labels{"graph": name, "mode": "conditional"},
+		func() float64 { return float64(c.modeConditional.Load()) })
+	reg.CounterFunc("netrel_queries_total", queries, telemetry.Labels{"graph": name, "mode": "topk"},
+		func() float64 { return float64(c.modeTopK.Load()) })
+	counterFn("netrel_failures_total", "Requests that failed.", c.failures.Load)
+	counterFn("netrel_batch_requests_total", "Batch requests answered.", c.batches.Load)
+	counterFn("netrel_batched_queries_total", "Queries answered inside batches.", c.batchQs.Load)
+	counterFn("netrel_cache_hits_total", "Session result-cache hits.",
+		func() uint64 { return sess.CacheStats().Hits })
+	counterFn("netrel_cache_misses_total", "Session result-cache misses.",
+		func() uint64 { return sess.CacheStats().Misses })
+	reg.GaugeFunc("netrel_cache_entries", "Session result-cache entries.", gl,
+		func() float64 { return float64(sess.CacheStats().Entries) })
+	counterFn("netrel_planner_batches_total", "Batches planned.",
+		func() uint64 { return sess.PlanStats().Batches })
+	counterFn("netrel_planner_queries_total", "Queries that arrived in batches.",
+		func() uint64 { return sess.PlanStats().Queries })
+	counterFn("netrel_planner_planned_queries_total",
+		"Distinct specs actually planned (batched queries minus plan-level dedup).",
+		func() uint64 { return sess.PlanStats().Planned })
+	counterFn("netrel_planner_unique_subproblems_total",
+		"Subproblems solved after dedup across batch plans.",
+		func() uint64 { return sess.PlanStats().UniqueSubproblems })
+	counterFn("netrel_planner_subproblems_total",
+		"Subproblem references across all batched queries, before dedup.",
+		func() uint64 { return sess.PlanStats().TotalSubproblems })
+
+	gm := &graphMetrics{latency: make(map[string]*telemetry.Histogram, len(queryModeLabels))}
+	for _, mode := range queryModeLabels {
+		gm.latency[mode] = reg.Histogram("netrel_query_duration_seconds",
+			"Wall-clock of answered requests, by mode (batches observed once as a unit).",
+			nil, telemetry.Labels{"graph": name, "mode": mode})
+	}
+	for p := telemetry.Phase(0); p < telemetry.NumPhases; p++ {
+		p := p
+		reg.CounterFunc("netrel_phase_seconds_total",
+			"Summed wall-clock of answered requests by pipeline phase.",
+			telemetry.Labels{"graph": name, "phase": p.String()},
+			func() float64 { return float64(gm.phaseNanos[p].Load()) / 1e9 })
+	}
+	m.mu.Lock()
+	m.graphs[name] = gm
+	m.mu.Unlock()
+}
+
+// pruneGraphMetrics drops every series of an evicted graph.
+func (s *server) pruneGraphMetrics(name string) {
+	m := s.metrics
+	m.mu.Lock()
+	delete(m.graphs, name)
+	m.mu.Unlock()
+	m.reg.PruneLabel("graph", name)
+}
+
+// recordQuery folds one answered request into its graph's series: a latency
+// observation under the mode label, the request trace's per-phase
+// wall-clock, and — when the request queued for admission — its queue wait.
+func (s *server) recordQuery(name, mode string, tr *telemetry.Trace, elapsed time.Duration) {
+	m := s.metrics
+	m.mu.Lock()
+	gm := m.graphs[name]
+	m.mu.Unlock()
+	if gm == nil { // evicted while the request was in flight
+		return
+	}
+	if h := gm.latency[mode]; h != nil {
+		h.Observe(elapsed.Seconds())
+	}
+	snap := tr.Snapshot()
+	for p := telemetry.Phase(0); p < telemetry.NumPhases; p++ {
+		if snap.Nanos[p] != 0 {
+			gm.phaseNanos[p].Add(snap.Nanos[p])
+		}
+	}
+	if snap.Counts[telemetry.PhaseAdmission] > 0 {
+		m.admissionWait.Observe(float64(snap.Nanos[telemetry.PhaseAdmission]) / 1e9)
+	}
+}
+
+// phaseSeconds is the /v1/stats view of a graph's accumulated phase time.
+func (s *server) phaseSeconds(name string) map[string]float64 {
+	m := s.metrics
+	m.mu.Lock()
+	gm := m.graphs[name]
+	m.mu.Unlock()
+	if gm == nil {
+		return nil
+	}
+	out := make(map[string]float64)
+	for p := telemetry.Phase(0); p < telemetry.NumPhases; p++ {
+		if n := gm.phaseNanos[p].Load(); n != 0 {
+			out[p.String()] = float64(n) / 1e9
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// countHTTP counts one finished response under its status code. Codes are a
+// tiny set, so the under-lock getOrCreate on a new code is a one-time cost.
+func (m *serverMetrics) countHTTP(code int) {
+	m.mu.Lock()
+	c := m.http[code]
+	if c == nil {
+		c = m.reg.Counter("netrel_http_requests_total",
+			"HTTP responses, by status code.", telemetry.Labels{"code": strconv.Itoa(code)})
+		m.http[code] = c
+	}
+	m.mu.Unlock()
+	c.Inc()
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.metrics.reg.WritePrometheus(w); err != nil {
+		s.logger.LogAttrs(r.Context(), slog.LevelDebug, "metrics write failed",
+			slog.String("error", err.Error()))
+	}
+}
+
+// ctxKeyRequestID carries the request id so handler-side log lines (slow
+// queries) correlate with the middleware's request line.
+type ctxKeyRequestID struct{}
+
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyRequestID{}).(string)
+	return id
+}
+
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusRecorder captures the status and byte count a handler wrote.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps the mux with the cross-cutting request concerns: an
+// X-Request-Id (the client's, or a fresh one) echoed on the response and
+// carried in the context, the HTTP gauges and counters, and one structured
+// log line per request.
+func (s *server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		ctx := context.WithValue(r.Context(), ctxKeyRequestID{}, id)
+		rw := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		s.metrics.httpInFlight.Add(1)
+		next.ServeHTTP(rw, r.WithContext(ctx))
+		s.metrics.httpInFlight.Add(-1)
+		s.metrics.countHTTP(rw.status)
+		s.logger.LogAttrs(ctx, slog.LevelInfo, "request",
+			slog.String("request_id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", rw.status),
+			slog.Int64("bytes", rw.bytes),
+			slog.Float64("duration_ms", float64(time.Since(start))/float64(time.Millisecond)),
+		)
+	})
+}
+
+// logSlow emits a warn-level line for requests over the -slowquery
+// threshold, carrying the trace's phase breakdown so the log line alone says
+// where the time went.
+func (s *server) logSlow(ctx context.Context, graph, mode string, tr *telemetry.Trace, elapsed time.Duration) {
+	if s.def.slowQuery <= 0 || elapsed < s.def.slowQuery {
+		return
+	}
+	attrs := []slog.Attr{
+		slog.String("request_id", requestIDFrom(ctx)),
+		slog.String("graph", graph),
+		slog.String("mode", mode),
+		slog.Float64("duration_ms", float64(elapsed)/float64(time.Millisecond)),
+	}
+	snap := tr.Snapshot()
+	for p := telemetry.Phase(0); p < telemetry.NumPhases; p++ {
+		if snap.Counts[p] > 0 {
+			attrs = append(attrs, slog.Float64(p.String()+"_ms", float64(snap.Nanos[p])/1e6))
+		}
+	}
+	s.logger.LogAttrs(ctx, slog.LevelWarn, "slow query", attrs...)
+}
+
+// phaseSpanJSON and phasesJSON are the wire shape of a traced request's
+// phase breakdown (netrel.PhaseBreakdown), returned when a query sets
+// "trace": true.
+type phaseSpanJSON struct {
+	Phase      string  `json:"phase"`
+	DurationMS float64 `json:"duration_ms"`
+	Count      int     `json:"count"`
+}
+
+type phasesJSON struct {
+	Spans              []phaseSpanJSON `json:"spans"`
+	CacheHits          int64           `json:"cache_hits"`
+	CacheMisses        int64           `json:"cache_misses"`
+	QueriesPlanned     int64           `json:"queries_planned,omitempty"`
+	QueriesDeduped     int64           `json:"queries_deduped,omitempty"`
+	Subproblems        int64           `json:"subproblems,omitempty"`
+	SubproblemsDeduped int64           `json:"subproblems_deduped,omitempty"`
+}
+
+func toPhases(b *netrel.PhaseBreakdown) *phasesJSON {
+	if b == nil {
+		return nil
+	}
+	out := &phasesJSON{
+		CacheHits:          b.CacheHits,
+		CacheMisses:        b.CacheMisses,
+		QueriesPlanned:     b.QueriesPlanned,
+		QueriesDeduped:     b.QueriesDeduped,
+		Subproblems:        b.Subproblems,
+		SubproblemsDeduped: b.SubproblemsDeduped,
+	}
+	for _, sp := range b.Spans {
+		out.Spans = append(out.Spans, phaseSpanJSON{
+			Phase:      sp.Phase,
+			DurationMS: float64(sp.Duration) / float64(time.Millisecond),
+			Count:      sp.Count,
+		})
+	}
+	return out
+}

@@ -83,6 +83,11 @@ type EngineStats struct {
 	// Repriced counts second-phase admission checks that passed: batches
 	// whose post-dedup solve cost was accepted after planning.
 	Repriced uint64
+	// Waited counts admissions that queued for a token; WaitedNanos is
+	// their summed queue wait. Together they give mean admission latency
+	// under saturation — the signal per-tenant QoS and autoscaling watch.
+	Waited      uint64
+	WaitedNanos uint64
 }
 
 // Admission errors surfaced to servers: ErrQueueFull and ErrEngineDraining
@@ -138,6 +143,8 @@ func (e *Engine) Stats() EngineStats {
 		RejectedDraining:  s.RejectedDraining,
 		CanceledWaiting:   s.CanceledWaiting,
 		Repriced:          s.Repriced,
+		Waited:            s.Waited,
+		WaitedNanos:       s.WaitedNanos,
 	}
 }
 

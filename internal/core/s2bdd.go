@@ -6,10 +6,12 @@ import (
 	"math"
 	"math/rand/v2"
 	"sort"
+	"time"
 
 	"netrel/internal/estimator"
 	"netrel/internal/frontier"
 	"netrel/internal/sampling"
+	"netrel/internal/telemetry"
 	"netrel/internal/ugraph"
 	"netrel/internal/xfloat"
 )
@@ -76,6 +78,7 @@ func ComputeContext(ctx context.Context, g *ugraph.Graph, ts ugraph.Terminals, c
 		plan:     plan,
 		g:        g,
 		k:        len(ts),
+		tr:       telemetry.FromContext(ctx),
 		rng:      rand.New(rand.NewPCG(cfg.Seed, 0xa0761d6478bd642f)),
 		workers:  sampling.ClampWorkers(cfg.Workers, 0),
 		cworkers: sampling.ClampWorkers(cw, 0),
@@ -90,6 +93,13 @@ type run struct {
 	plan *frontier.Plan
 	g    *ugraph.Graph
 	k    int
+
+	// tr is the request's telemetry trace (nil when untraced — every use
+	// guards on that, so tracing costs the untraced path one pointer
+	// check). sampleNanos accumulates sampleStratum wall-clock on the
+	// driver, so execute can split its total into construct vs. sample.
+	tr          *telemetry.Trace
+	sampleNanos time.Duration
 
 	// rng drives only driver-level decisions (the stochastic rounding of
 	// stratum allocations); all completion draws use per-chunk streams
@@ -137,6 +147,10 @@ func (r *run) execute() (Result, error) {
 	cfg := &r.cfg
 	m := r.plan.M()
 	r.res.SamplesRequested = cfg.Samples
+	var t0 time.Time
+	if r.tr != nil {
+		t0 = time.Now()
+	}
 
 	r.remaining = make([]int32, r.g.N())
 	for _, e := range r.g.Edges() {
@@ -275,6 +289,12 @@ func (r *run) execute() (Result, error) {
 		return Result{}, fmt.Errorf("core: %d unresolved states after final layer", len(nodes))
 	}
 	r.res.Flushed = flushed
+	if r.tr != nil {
+		// One construct span per subproblem: the run's wall-clock minus the
+		// time its strata spent sampling (sampleStratum runs on the driver,
+		// interleaved with layer expansion, so subtraction is exact).
+		r.tr.Add(telemetry.PhaseConstruct, time.Since(t0)-r.sampleNanos)
+	}
 	return r.finalize()
 }
 
@@ -361,6 +381,14 @@ func (r *run) heuristic(f []int32, n *node) float64 {
 // cfg.Workers goroutines and their results fold in chunk order, so the
 // estimate does not depend on the worker count (see parallel.go).
 func (r *run) sampleStratum(layer int, front []int32, snaps []snapshot, mass xfloat.F) {
+	if r.tr != nil {
+		start := time.Now()
+		defer func() {
+			d := time.Since(start)
+			r.sampleNanos += d
+			r.tr.Add(telemetry.PhaseSample, d)
+		}()
+	}
 	r.res.Strata++
 	stratum := r.res.Strata // 1-based stratum ordinal, deterministic
 	r.sampledMass = r.sampledMass.Add(mass)

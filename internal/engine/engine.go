@@ -49,6 +49,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"netrel/internal/telemetry"
 )
 
 // Rejection and lifecycle errors. Servers map ErrQueueFull and ErrDraining
@@ -111,6 +114,12 @@ type Stats struct {
 	// Repriced counts successful second-phase cost checks (Reprice calls
 	// that passed the cap).
 	Repriced uint64
+	// Waited counts admissions that had to queue for a token, and
+	// WaitedNanos their summed queue wait — the saturation signal a load
+	// balancer or autoscaler watches (fast-path admissions contribute to
+	// neither).
+	Waited      uint64
+	WaitedNanos uint64
 }
 
 // Engine is a shared worker pool plus admission controller. It is safe for
@@ -130,14 +139,16 @@ type Engine struct {
 	drainOnce sync.Once
 	closeOnce sync.Once
 
-	inFlight atomic.Int64 // gauge (covers the unlimited mode too)
-	assists  atomic.Uint64
-	admitted atomic.Uint64
-	rejQueue atomic.Uint64
-	rejCost  atomic.Uint64
-	rejDrain atomic.Uint64
-	canceled atomic.Uint64
-	repriced atomic.Uint64
+	inFlight  atomic.Int64 // gauge (covers the unlimited mode too)
+	assists   atomic.Uint64
+	admitted  atomic.Uint64
+	rejQueue  atomic.Uint64
+	rejCost   atomic.Uint64
+	rejDrain  atomic.Uint64
+	canceled  atomic.Uint64
+	repriced  atomic.Uint64
+	waited    atomic.Uint64
+	waitNanos atomic.Uint64
 }
 
 // New starts an engine with cfg's pool and admission limits. The pool
@@ -206,9 +217,24 @@ func (e *Engine) TryGo(fn func()) bool {
 // (idempotent: extra calls are no-ops). Admit blocks only while the
 // request is queued; queued requests leave promptly when ctx is cancelled
 // or the engine drains.
+//
+// When ctx carries a telemetry trace, a successful Admit records its full
+// duration under PhaseAdmission — ≈0 on the fast path, the queue wait when
+// the engine is saturated. Untraced requests pay one context lookup.
 func (e *Engine) Admit(ctx context.Context, cost int64) (release func(), err error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	tr := telemetry.FromContext(ctx)
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
+	admitted := func(release func()) (func(), error) {
+		if tr != nil {
+			tr.Add(telemetry.PhaseAdmission, time.Since(t0))
+		}
+		return release, nil
 	}
 	switch {
 	case e.isClosed():
@@ -224,13 +250,13 @@ func (e *Engine) Admit(ctx context.Context, cost int64) (release func(), err err
 	if e.tokens == nil { // unlimited admission: count only
 		e.inFlight.Add(1)
 		e.admitted.Add(1)
-		return e.releaseFunc(), nil
+		return admitted(e.releaseFunc())
 	}
 	select { // fast path: a token is free
 	case e.tokens <- struct{}{}:
 		e.inFlight.Add(1)
 		e.admitted.Add(1)
-		return e.tokenRelease(), nil
+		return admitted(e.tokenRelease())
 	default:
 	}
 	select { // join the bounded waiting queue
@@ -240,11 +266,14 @@ func (e *Engine) Admit(ctx context.Context, cost int64) (release func(), err err
 		return nil, fmt.Errorf("%w: %d in flight, %d waiting", ErrQueueFull, cap(e.tokens), cap(e.queue))
 	}
 	defer func() { <-e.queue }() // leave the queue on every outcome
+	wait := time.Now()
 	select {
 	case e.tokens <- struct{}{}:
+		e.waited.Add(1)
+		e.waitNanos.Add(uint64(time.Since(wait)))
 		e.inFlight.Add(1)
 		e.admitted.Add(1)
-		return e.tokenRelease(), nil
+		return admitted(e.tokenRelease())
 	case <-ctx.Done():
 		e.canceled.Add(1)
 		return nil, ctx.Err()
@@ -333,6 +362,8 @@ func (e *Engine) Stats() Stats {
 		RejectedDraining:  e.rejDrain.Load(),
 		CanceledWaiting:   e.canceled.Load(),
 		Repriced:          e.repriced.Load(),
+		Waited:            e.waited.Load(),
+		WaitedNanos:       e.waitNanos.Load(),
 	}
 	if e.tokens != nil {
 		s.MaxInFlight = cap(e.tokens)

@@ -62,6 +62,15 @@ type BenchReport struct {
 	// PlanDedupFraction is 1 − distinct/total queries of that batch (the
 	// plan-level sharing the dedup removes before planning even starts).
 	PlanDedupFraction float64 `json:"plan_dedup_fraction"`
+	// TelemetryOverhead is traced-ns / untraced-ns on the solo pipeline
+	// workload: the cost of phase-timed tracing relative to running dark.
+	// Tracing is observation-only and its acceptance bar is < 1.03; CI
+	// guards a noise-tolerant < 1.10.
+	TelemetryOverhead float64 `json:"telemetry_overhead"`
+	// PhaseFractions is each solve phase's share of the summed solve-phase
+	// wall clock (plan, construct, sample, combine) from one traced run of
+	// the pipeline workload — where a query's time actually goes.
+	PhaseFractions map[string]float64 `json:"phase_fractions"`
 }
 
 // benchRepetitions is the number of times each workload runs; the fastest
@@ -177,6 +186,58 @@ func BenchTrajectory(cfg Config) (*BenchReport, error) {
 	report.Rows = append(report.Rows, BenchRow{
 		Name: "s2bdd/sampling-hot-path", NsPerOp: float64(sampler.Nanoseconds()), Runs: benchRepetitions,
 	})
+
+	// --- Telemetry overhead: the observation-only bar. ---
+	// The identical pipeline workload, untraced and traced. Five repetitions
+	// each (instead of the usual three) because the quantity of interest is
+	// a ratio near 1 and min-of-reps needs a few more draws to converge on
+	// both sides. The traced run also yields the per-phase breakdown the
+	// report surfaces as phase fractions.
+	const telemetryReps = 5
+	pipelineOpts := []netrel.Option{
+		netrel.WithSamples(cfg.Samples), netrel.WithMaxWidth(cfg.Width),
+		netrel.WithSeed(cfg.Seed),
+	}
+	untraced, err := measure(telemetryReps, func() error {
+		_, err := netrel.Reliability(tokyo, terms, pipelineOpts...)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var tracedRes *netrel.Result
+	traced, err := measure(telemetryReps, func() error {
+		res, err := netrel.Reliability(tokyo, terms,
+			append(append([]netrel.Option{}, pipelineOpts...), netrel.WithTrace())...)
+		tracedRes = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	report.Rows = append(report.Rows,
+		BenchRow{Name: "telemetry/untraced", NsPerOp: float64(untraced.Nanoseconds()), Runs: telemetryReps},
+		BenchRow{Name: "telemetry/traced", NsPerOp: float64(traced.Nanoseconds()), Runs: telemetryReps},
+	)
+	if untraced > 0 {
+		report.TelemetryOverhead = float64(traced) / float64(untraced)
+	}
+	if tracedRes != nil && tracedRes.Phases != nil {
+		var solveSum time.Duration
+		solve := map[string]time.Duration{}
+		for _, name := range []string{"plan", "construct", "sample", "combine"} {
+			if sp, ok := tracedRes.Phases.Span(name); ok {
+				solve[name] = sp.Duration
+				solveSum += sp.Duration
+			}
+		}
+		if solveSum > 0 {
+			report.PhaseFractions = make(map[string]float64, len(solve))
+			for name, d := range solve {
+				report.PhaseFractions[name] = float64(d) / float64(solveSum)
+			}
+		}
+	}
 
 	// --- Construction sharding on the widest bundled dataset. ---
 	// Hit-d (the dense protein network) keeps the S2BDD frontier wide for

@@ -33,11 +33,32 @@ func TestBenchTrajectoryReport(t *testing.T) {
 		names[row.Name] = true
 	}
 	for _, want := range []string{"s2bdd/pipeline", "s2bdd/sampling-hot-path",
+		"telemetry/untraced", "telemetry/traced",
 		"construction/sequential", "construction/parallel",
 		"batch/sequential", "batch/batched", "plan/sequential", "plan/parallel",
 		"serve/spawning", "serve/pooled"} {
 		if !names[want] {
 			t.Fatalf("missing row %q (have %v)", want, names)
+		}
+	}
+	if report.TelemetryOverhead <= 0 {
+		t.Fatalf("telemetry overhead %v", report.TelemetryOverhead)
+	}
+	// Phase fractions come from a traced run and must form a distribution
+	// over the solve phases; plan and construct always run.
+	var fracSum float64
+	for name, f := range report.PhaseFractions {
+		if f < 0 || f > 1 {
+			t.Fatalf("phase fraction %s = %v out of [0,1]", name, f)
+		}
+		fracSum += f
+	}
+	if fracSum < 0.999 || fracSum > 1.001 {
+		t.Fatalf("phase fractions sum to %v, want 1", fracSum)
+	}
+	for _, want := range []string{"plan", "construct"} {
+		if _, ok := report.PhaseFractions[want]; !ok {
+			t.Fatalf("missing phase fraction %q (have %v)", want, report.PhaseFractions)
 		}
 	}
 	if report.ConstructionSpeedup <= 0 {

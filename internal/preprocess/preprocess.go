@@ -1,10 +1,12 @@
 package preprocess
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
+	"netrel/internal/telemetry"
 	"netrel/internal/ugraph"
 	"netrel/internal/xfloat"
 )
@@ -61,6 +63,15 @@ var ErrNoTerminals = errors.New("preprocess: empty terminal set")
 // Run applies prune → decompose → transform. idx may be nil, in which case
 // it is built on the fly.
 func Run(g *ugraph.Graph, ts ugraph.Terminals, idx *Index) (*Result, error) {
+	return RunContext(context.Background(), g, ts, idx)
+}
+
+// RunContext is Run with a telemetry hook: when ctx carries a trace and the
+// index is built on the fly (conditioned graphs, index-less callers), the
+// build is recorded under PhaseIndex. ctx carries only the trace — the pass
+// itself is not cancellable (it is cheap relative to solving; callers check
+// ctx around it).
+func RunContext(ctx context.Context, g *ugraph.Graph, ts ugraph.Terminals, idx *Index) (*Result, error) {
 	if len(ts) == 0 {
 		return nil, ErrNoTerminals
 	}
@@ -68,7 +79,9 @@ func Run(g *ugraph.Graph, ts ugraph.Terminals, idx *Index) (*Result, error) {
 		return nil, err
 	}
 	if idx == nil {
+		done := telemetry.FromContext(ctx).Span(telemetry.PhaseIndex)
 		idx = BuildIndex(g)
+		done()
 	}
 	res := &Result{
 		PB:               xfloat.One,

@@ -73,6 +73,7 @@ type options struct {
 	stallThreshold float64
 	bddBudget      int
 	factorBudget   int
+	trace          bool
 }
 
 func defaultOptions() options {
@@ -178,6 +179,25 @@ func WithPlanWorkers(n int) Option {
 	}
 }
 
+// WithTrace attaches a per-request phase trace to the computation:
+// Result.Phases reports wall-clock spans for each pipeline phase
+// (admission wait, conditioning, index build, planning, S2BDD
+// construction, stratified sampling, combining) plus cache-hit and batch
+// dedup annotations. Tracing is observation-only — it never touches a
+// random stream or a chunk schedule, so results are bit-identical with it
+// on or off, and like the worker knobs it is excluded from the result
+// cache fingerprint. Overhead is a handful of clock reads per request.
+//
+// Callers that already carry a telemetry trace in ctx (netreld does, for
+// its metrics) get spans recorded either way; WithTrace only controls
+// whether Result.Phases is populated.
+func WithTrace() Option {
+	return func(o *options) error {
+		o.trace = true
+		return nil
+	}
+}
+
 // WithOrdering selects the edge processing order (default BFS).
 func WithOrdering(ord Ordering) Option {
 	return func(o *options) error {
@@ -268,7 +288,9 @@ func buildOptions(opts []Option) (options, error) {
 // result into one cache-key component. The worker counts (WithWorkers,
 // WithConstructionWorkers and WithPlanWorkers) are deliberately excluded —
 // the parallel schedules are worker-count independent, so results are too —
-// as is the BDD baseline's node budget, which the pipeline never reads.
+// as are WithTrace (observation-only: a traced query must hit the same
+// cache entries an untraced one fills) and the BDD baseline's node budget,
+// which the pipeline never reads.
 // exactOnly distinguishes Exact from Reliability runs over the same option
 // set.
 func (o *options) fingerprint(exactOnly bool) uint64 {

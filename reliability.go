@@ -63,6 +63,7 @@ import (
 	"netrel/internal/order"
 	"netrel/internal/preprocess"
 	"netrel/internal/sampling"
+	"netrel/internal/telemetry"
 	"netrel/internal/ugraph"
 	"netrel/internal/xfloat"
 )
@@ -96,6 +97,12 @@ type Result struct {
 
 	// Duration is wall-clock time of the whole computation.
 	Duration time.Duration
+
+	// Phases is the per-phase wall-clock breakdown of this request,
+	// populated only under WithTrace (nil otherwise). Tracing is
+	// observation-only: the computed values above are bit-identical with
+	// it on or off.
+	Phases *PhaseBreakdown
 }
 
 // PreprocessStats summarizes the extension technique's effect.
@@ -206,6 +213,7 @@ func MonteCarloContext(ctx context.Context, g *Graph, terminals []int, opts ...O
 	if err != nil {
 		return nil, err
 	}
+	ctx, tr := ensureTrace(ctx, o)
 	eng := DefaultEngine()
 	release, err := eng.admit(ctx, samplingCost(o))
 	if err != nil {
@@ -213,6 +221,7 @@ func MonteCarloContext(ctx context.Context, g *Graph, terminals []int, opts ...O
 	}
 	defer release()
 	start := time.Now()
+	done := tr.Span(telemetry.PhaseSample)
 	res, err := sampling.RunContext(ctx, g.internal(), ts, sampling.Options{
 		Samples:   o.samples,
 		Estimator: o.estimatorKind(),
@@ -220,10 +229,11 @@ func MonteCarloContext(ctx context.Context, g *Graph, terminals []int, opts ...O
 		Workers:   o.workers,
 		Exec:      eng.exec(),
 	})
+	done()
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	out := &Result{
 		Reliability:      res.Estimate,
 		Log10:            log10OrInf(res.Estimate),
 		Lower:            0,
@@ -234,7 +244,9 @@ func MonteCarloContext(ctx context.Context, g *Graph, terminals []int, opts ...O
 		SamplesUsed:      res.Samples,
 		Subproblems:      1,
 		Duration:         time.Since(start),
-	}, nil
+	}
+	attachPhases(out, tr, o)
+	return out, nil
 }
 
 // BDDExact computes R[G,T] exactly with the classic full-materialization
@@ -254,6 +266,7 @@ func BDDExactContext(ctx context.Context, g *Graph, terminals []int, opts ...Opt
 	if err != nil {
 		return nil, err
 	}
+	ctx, tr := ensureTrace(ctx, o)
 	eng := DefaultEngine()
 	release, err := eng.admit(ctx, bddCost(o))
 	if err != nil {
@@ -261,6 +274,7 @@ func BDDExactContext(ctx context.Context, g *Graph, terminals []int, opts ...Opt
 	}
 	defer release()
 	start := time.Now()
+	done := tr.Span(telemetry.PhaseConstruct)
 	ord := order.Compute(g.internal(), o.ordering.strategy(), ts[0])
 	res, err := bdd.ComputeContext(ctx, g.internal(), ts, bdd.Options{
 		Order:      ord,
@@ -268,11 +282,12 @@ func BDDExactContext(ctx context.Context, g *Graph, terminals []int, opts ...Opt
 		Workers:    o.workers,
 		Exec:       eng.exec(),
 	})
+	done()
 	if err != nil {
 		return nil, err
 	}
 	v := res.Reliability.Float64()
-	return &Result{
+	out := &Result{
 		Reliability: v,
 		Log10:       log10X(res.Reliability),
 		Lower:       v,
@@ -280,7 +295,9 @@ func BDDExactContext(ctx context.Context, g *Graph, terminals []int, opts ...Opt
 		Exact:       true,
 		Subproblems: 1,
 		Duration:    time.Since(start),
-	}, nil
+	}
+	attachPhases(out, tr, o)
+	return out, nil
 }
 
 // Factoring computes R[G,T] exactly by the factoring theorem with
@@ -306,6 +323,7 @@ func FactoringContext(ctx context.Context, g *Graph, terminals []int, opts ...Op
 	if err != nil {
 		return nil, err
 	}
+	ctx, tr := ensureTrace(ctx, o)
 	eng := DefaultEngine()
 	release, err := eng.admit(ctx, factoringCost(o))
 	if err != nil {
@@ -313,12 +331,14 @@ func FactoringContext(ctx context.Context, g *Graph, terminals []int, opts ...Op
 	}
 	defer release()
 	start := time.Now()
+	done := tr.Span(telemetry.PhaseConstruct)
 	r, err := exact.FactoringContext(ctx, g.internal(), ts, o.factorBudget)
+	done()
 	if err != nil {
 		return nil, err
 	}
 	v := r.Float64()
-	return &Result{
+	out := &Result{
 		Reliability: v,
 		Log10:       log10X(r),
 		Lower:       v,
@@ -326,7 +346,9 @@ func FactoringContext(ctx context.Context, g *Graph, terminals []int, opts ...Op
 		Exact:       true,
 		Subproblems: 1,
 		Duration:    time.Since(start),
-	}, nil
+	}
+	attachPhases(out, tr, o)
+	return out, nil
 }
 
 // pipelineJob is one decomposed subproblem of the Algorithm 1 pipeline,
@@ -405,6 +427,10 @@ func solveJobs(ctx context.Context, exec sampling.Executor, jobs []pipelineJob, 
 		} else {
 			miss = append(miss, i)
 		}
+	}
+	if tr := telemetry.FromContext(ctx); tr != nil {
+		tr.Annotate(telemetry.AnnotCacheHits, int64(len(jobs)-len(miss)))
+		tr.Annotate(telemetry.AnnotCacheMisses, int64(len(miss)))
 	}
 
 	total := sampling.ClampWorkers(o.workers, 0)
@@ -487,7 +513,9 @@ func finishPipeline(ctx context.Context, exec sampling.Executor, p *queryPlan, o
 	if err != nil {
 		return nil, err
 	}
+	done := telemetry.FromContext(ctx).Span(telemetry.PhaseCombine)
 	out := combineResults(p.out, results, p.factor)
+	done()
 	out.Duration = time.Since(p.start)
 	return out, nil
 }

@@ -10,6 +10,7 @@ import (
 	"netrel/internal/batch"
 	"netrel/internal/preprocess"
 	"netrel/internal/sampling"
+	"netrel/internal/telemetry"
 	"netrel/internal/ugraph"
 	"netrel/internal/xfloat"
 )
@@ -243,7 +244,8 @@ func (s *Session) solveSpec(ctx context.Context, spec QuerySpec, opts []Option, 
 	if err != nil {
 		return nil, err
 	}
-	rs, err := resolveSpec(s.g, spec)
+	ctx, tr := ensureTrace(ctx, o)
+	rs, err := resolveTimed(s.g, spec, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -259,21 +261,44 @@ func (s *Session) solveSpec(ctx context.Context, spec QuerySpec, opts []Option, 
 	return runResolved(ctx, s.eng.exec(), rs, o, exactOnly, idx, s.cache)
 }
 
+// resolveTimed resolves one spec, recording conditional specs' evidence
+// rewrite under PhaseCondition (terminal-set resolution is a validation
+// pass, too cheap to be a phase).
+func resolveTimed(g *Graph, spec QuerySpec, tr *telemetry.Trace) (*resolvedSpec, error) {
+	var start time.Time
+	if tr != nil {
+		start = time.Now()
+	}
+	rs, err := resolveSpec(g, spec)
+	if err != nil {
+		return nil, err
+	}
+	if tr != nil && rs.conditioned {
+		tr.Add(telemetry.PhaseCondition, time.Since(start))
+	}
+	return rs, nil
+}
+
 // specIndex returns the planning index for a resolved spec: the session's
 // (lazily built) base-graph index when the spec runs on the base graph, nil
 // for conditioned specs — their rewritten graph gets its own index inside
 // preprocessing. The ctx check matches indexContext's contract either way.
+// Base-graph index time — the shared build, or the wait for a concurrent
+// builder — is recorded under PhaseIndex (≈0 once the index exists);
+// conditioned specs record theirs inside preprocessing instead.
 func (s *Session) specIndex(ctx context.Context, rs *resolvedSpec) (*preprocess.Index, error) {
 	if rs.conditioned {
 		return nil, ctx.Err()
 	}
+	defer telemetry.FromContext(ctx).Span(telemetry.PhaseIndex)()
 	return s.indexContext(ctx)
 }
 
 // run executes the Algorithm 1 pipeline for the package-level entry
 // points: index built on the fly, no cache, DefaultEngine execution.
 func run(ctx context.Context, g *Graph, spec QuerySpec, o options, exactOnly bool) (*Result, error) {
-	rs, err := resolveSpec(g, spec)
+	ctx, tr := ensureTrace(ctx, o)
+	rs, err := resolveTimed(g, spec, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -322,6 +347,7 @@ func (p *queryPlan) cloneOut() *Result {
 // scheduled. Cancellation is checked after the preprocess pass (the pass
 // itself is cheap relative to solving); callers check on entry.
 func planTerminals(ctx context.Context, g *ugraph.Graph, ts ugraph.Terminals, o options, idx *preprocess.Index) (*queryPlan, error) {
+	tr := telemetry.FromContext(ctx)
 	start := time.Now()
 	p := &queryPlan{
 		out:    &Result{SamplesRequested: o.samples},
@@ -336,11 +362,12 @@ func planTerminals(ctx context.Context, g *ugraph.Graph, ts ugraph.Terminals, o 
 			sig: preprocess.Sign(g, ts),
 		})
 		p.planDur = time.Since(start)
+		tr.Add(telemetry.PhasePlan, p.planDur)
 		return p, nil
 	}
 
 	prepStart := time.Now()
-	prep, err := preprocess.Run(g, ts, idx)
+	prep, err := preprocess.RunContext(ctx, g, ts, idx)
 	if err != nil {
 		return nil, err
 	}
@@ -360,6 +387,7 @@ func planTerminals(ctx context.Context, g *ugraph.Graph, ts ugraph.Terminals, o 
 		p.done = true
 		p.planDur = time.Since(start)
 		p.out.Duration = p.planDur
+		tr.Add(telemetry.PhasePlan, p.planDur)
 		return p, nil
 	}
 	p.factor = prep.PB
@@ -367,6 +395,7 @@ func planTerminals(ctx context.Context, g *ugraph.Graph, ts ugraph.Terminals, o 
 		p.jobs = append(p.jobs, pipelineJob{g: sub.G, ts: sub.Terminals, sig: sub.Sig})
 	}
 	p.planDur = time.Since(start)
+	tr.Add(telemetry.PhasePlan, p.planDur)
 	return p, nil
 }
 
@@ -383,8 +412,13 @@ func runResolved(ctx context.Context, exec sampling.Executor, rs *resolvedSpec, 
 	if err != nil {
 		return nil, err
 	}
-	if p.done {
-		return p.out, nil
+	out := p.out
+	if !p.done {
+		out, err = finishPipeline(ctx, exec, p, o, exactOnly, cache)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return finishPipeline(ctx, exec, p, o, exactOnly, cache)
+	attachPhases(out, telemetry.FromContext(ctx), o)
+	return out, nil
 }
