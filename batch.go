@@ -201,7 +201,41 @@ func (s *Session) BatchReliabilityContext(ctx context.Context, queries []Query, 
 		unique[u] = pipelineJob{g: j.G, ts: j.Ts, sig: j.Sig}
 	}
 	solveStart := time.Now()
-	solved, err := solveJobs(ctx, s.eng.exec(), unique, o, false, s.cache)
+	var solved []core.Result
+	if o.adaptive() {
+		// Adaptive rounds: weight each unique subproblem's bound gap by its
+		// fan-in — how many queries its refinement tightens — and stream
+		// per-query interval snapshots to the progress sink at every round
+		// boundary. With the default knobs this branch is not taken and the
+		// static solve below runs unchanged.
+		fanin := make([]int, len(plan.Unique))
+		for _, refs := range plan.Refs {
+			for _, u := range refs {
+				fanin[u]++
+			}
+		}
+		var report func(int, bool, []jobBounds)
+		if o.progress != nil {
+			report = func(round int, final bool, bounds []jobBounds) {
+				for i := range queries {
+					p := plans[dd.Slot[i]]
+					if p.done {
+						r := p.out.Reliability
+						o.progress(Progress{Query: i, Round: round, Lower: r,
+							Upper: r, Estimate: r, Done: final})
+						continue
+					}
+					factor := p.factor.Clamp01().Float64()
+					lo, hi, est, drawn := combineBounds(factor, bounds, plan.Refs[dd.Slot[i]])
+					o.progress(Progress{Query: i, Round: round, Lower: lo,
+						Upper: hi, Estimate: est, SamplesUsed: drawn, Done: final})
+				}
+			}
+		}
+		solved, err = solveJobsAdaptive(ctx, s.eng.exec(), unique, fanin, o, s.cache, report)
+	} else {
+		solved, err = solveJobs(ctx, s.eng.exec(), unique, o, false, s.cache)
+	}
 	if err != nil {
 		return nil, err
 	}

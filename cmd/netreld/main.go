@@ -46,6 +46,17 @@
 // queued requests get 503s immediately, in-flight queries finish (up to
 // -drain), then the listener closes.
 //
+// Anytime queries: sampling requests (single and batch) may set "rounds" —
+// the sample budget is then spent in that many adaptive rounds, each
+// allocated where the bound gap (weighted by batch fan-in) is largest — and
+// "target_width", which stops a subproblem's sampling once its anytime
+// interval is at most that wide. With "stream": true the response becomes a
+// Server-Sent-Events stream: one "progress" event per round boundary
+// carrying monotonically tightening [lower, upper] bounds per query, then a
+// terminal "result" event with the normal JSON body (or an "error" event).
+// With "target_width" unset the rounds are invisible in the result — it is
+// bit-identical to the one-shot schedule per seed.
+//
 // Observability: every query request may set "trace": true to receive a
 // per-phase wall-clock breakdown alongside its result; tracing is
 // observation-only, so traced and untraced results are bit-identical per
@@ -272,6 +283,12 @@ type graphCounters struct {
 	batchQs  atomic.Uint64 // queries answered inside batches
 	failures atomic.Uint64
 
+	// samplesDrawn counts completion draws across answered requests (from
+	// the request traces); earlyStops the subproblems a target width halted
+	// before their schedule was exhausted.
+	samplesDrawn atomic.Uint64
+	earlyStops   atomic.Uint64
+
 	modeTerminalSet atomic.Uint64
 	modeConditional atomic.Uint64
 	modeTopK        atomic.Uint64
@@ -389,19 +406,25 @@ type evidenceJSON struct {
 
 // queryRequest is the JSON body of a single reliability query; zero-valued
 // option fields fall back to the daemon defaults, a missing graph to
-// "default", a missing mode to "terminal-set".
+// "default", a missing mode to "terminal-set". The anytime knobs — "rounds"
+// (adaptive sampling rounds), "target_width" (stop sampling at this interval
+// width) and "stream" (SSE progress per round) — default to the classic
+// one-shot schedule.
 type queryRequest struct {
-	Graph     string         `json:"graph,omitempty"`
-	Mode      string         `json:"mode,omitempty"` // "terminal-set" (default) or "conditional"
-	Terminals []int          `json:"terminals"`
-	Evidence  []evidenceJSON `json:"evidence,omitempty"`
-	Samples   int            `json:"samples,omitempty"`
-	Width     int            `json:"width,omitempty"`
-	Seed      uint64         `json:"seed,omitempty"`
-	Workers   int            `json:"workers,omitempty"`
-	Estimator string         `json:"estimator,omitempty"` // "mc" (default) or "ht"
-	Exact     bool           `json:"exact,omitempty"`
-	Trace     bool           `json:"trace,omitempty"` // include a phase breakdown in the result
+	Graph       string         `json:"graph,omitempty"`
+	Mode        string         `json:"mode,omitempty"` // "terminal-set" (default) or "conditional"
+	Terminals   []int          `json:"terminals"`
+	Evidence    []evidenceJSON `json:"evidence,omitempty"`
+	Samples     int            `json:"samples,omitempty"`
+	Width       int            `json:"width,omitempty"`
+	Seed        uint64         `json:"seed,omitempty"`
+	Workers     int            `json:"workers,omitempty"`
+	Estimator   string         `json:"estimator,omitempty"` // "mc" (default) or "ht"
+	Exact       bool           `json:"exact,omitempty"`
+	Trace       bool           `json:"trace,omitempty"` // include a phase breakdown in the result
+	Rounds      int            `json:"rounds,omitempty"`
+	TargetWidth float64        `json:"target_width,omitempty"`
+	Stream      bool           `json:"stream,omitempty"` // SSE: progress per round, then the result
 }
 
 type batchRequest struct {
@@ -411,12 +434,15 @@ type batchRequest struct {
 		Terminals []int          `json:"terminals"`
 		Evidence  []evidenceJSON `json:"evidence,omitempty"`
 	} `json:"queries"`
-	Samples   int    `json:"samples,omitempty"`
-	Width     int    `json:"width,omitempty"`
-	Seed      uint64 `json:"seed,omitempty"`
-	Workers   int    `json:"workers,omitempty"`
-	Estimator string `json:"estimator,omitempty"`
-	Trace     bool   `json:"trace,omitempty"` // batch-scoped breakdown, echoed on every result
+	Samples     int     `json:"samples,omitempty"`
+	Width       int     `json:"width,omitempty"`
+	Seed        uint64  `json:"seed,omitempty"`
+	Workers     int     `json:"workers,omitempty"`
+	Estimator   string  `json:"estimator,omitempty"`
+	Trace       bool    `json:"trace,omitempty"` // batch-scoped breakdown, echoed on every result
+	Rounds      int     `json:"rounds,omitempty"`
+	TargetWidth float64 `json:"target_width,omitempty"`
+	Stream      bool    `json:"stream,omitempty"` // SSE: per-query progress per round, then the results
 }
 
 // topkRequest ranks the k most reliable extension vertices of a base
@@ -495,6 +521,11 @@ type graphStatsResponse struct {
 	BatchRequests  uint64          `json:"batch_requests"`
 	BatchedQueries uint64          `json:"batched_queries"`
 	Failures       uint64          `json:"failures"`
+	// SamplesDrawn is the graph's accumulated completion-draw count;
+	// EarlyStops counts subproblems a "target_width" halted before their
+	// schedule was exhausted.
+	SamplesDrawn uint64 `json:"samples_drawn"`
+	EarlyStops   uint64 `json:"early_stops"`
 	Modes          modesResponse   `json:"modes"`
 	Cache          cacheResponse   `json:"cache"`
 	Planner        plannerResponse `json:"planner"`
@@ -630,6 +661,96 @@ func (s *server) options(samples, width int, seed uint64, workers int, estimator
 	return opts, nil
 }
 
+// defaultStreamRounds is the sampling-round count of streaming requests
+// that leave "rounds" unset: enough round boundaries for a useful bounds
+// stream while keeping per-round overhead negligible. Safe to default —
+// without a target width the round structure never changes the result.
+const defaultStreamRounds = 8
+
+// anytimeOptions validates a request's adaptive-sampling knobs and appends
+// the matching library options. Streaming requests get defaultStreamRounds
+// rounds when they don't pick a count, so the stream has boundaries to
+// flush at.
+func anytimeOptions(opts []netrel.Option, rounds int, targetWidth float64, stream bool) ([]netrel.Option, error) {
+	if rounds < 0 {
+		return nil, fmt.Errorf("rounds must be at least 1, got %d", rounds)
+	}
+	if targetWidth < 0 || math.IsNaN(targetWidth) {
+		return nil, fmt.Errorf("target_width must be non-negative, got %v", targetWidth)
+	}
+	if stream && rounds == 0 {
+		rounds = defaultStreamRounds
+	}
+	if rounds > 0 {
+		opts = append(opts, netrel.WithSampleRounds(rounds))
+	}
+	if targetWidth > 0 {
+		opts = append(opts, netrel.WithTargetWidth(targetWidth))
+	}
+	return opts, nil
+}
+
+// progressJSON is the wire shape of one "progress" SSE event: a query's
+// anytime interval at a round boundary. Lower never decreases and Upper
+// never increases across a query's events; the last one has "done": true.
+type progressJSON struct {
+	Query       int     `json:"query"`
+	Round       int     `json:"round"`
+	Lower       float64 `json:"lower"`
+	Upper       float64 `json:"upper"`
+	Estimate    float64 `json:"estimate"`
+	SamplesUsed int     `json:"samples_used"`
+	Done        bool    `json:"done"`
+}
+
+func toProgressJSON(p netrel.Progress) progressJSON {
+	return progressJSON{
+		Query:       p.Query,
+		Round:       p.Round,
+		Lower:       p.Lower,
+		Upper:       p.Upper,
+		Estimate:    p.Estimate,
+		SamplesUsed: p.SamplesUsed,
+		Done:        p.Done,
+	}
+}
+
+// sseWriter emits Server-Sent Events, flushing after each so round-boundary
+// bounds reach the client as they tighten. All writes happen on the handler
+// goroutine (WithProgress sinks run on the calling goroutine), so there is
+// no locking.
+type sseWriter struct {
+	w http.ResponseWriter
+	f http.Flusher
+}
+
+// newSSEWriter switches the response to an event stream. It fails (with a
+// normal JSON error, since no event byte has been written yet) when the
+// connection cannot stream.
+func newSSEWriter(w http.ResponseWriter) (*sseWriter, error) {
+	f, ok := w.(http.Flusher)
+	if !ok {
+		return nil, errors.New("streaming is not supported on this connection")
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // tell buffering proxies to pass events through
+	w.WriteHeader(http.StatusOK)
+	return &sseWriter{w: w, f: f}, nil
+}
+
+// event writes one named event with a JSON payload.
+func (s *sseWriter) event(name string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		slog.Warn("encoding SSE event failed", "event", name, "error", err.Error())
+		return
+	}
+	fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", name, data)
+	s.f.Flush()
+}
+
 // parseMode maps the wire mode name to a QueryMode. "topk" is only valid
 // where allowTopK (the /v1/topk endpoint) — elsewhere the caller is pointed
 // there.
@@ -699,6 +820,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	graphs := make(map[string]graphStatsResponse)
 	var totalQueries, totalBatches, totalBatchQs, totalFailures uint64
+	var totalSamples, totalEarlyStops uint64
 	var totalModes modesResponse
 	for _, info := range s.reg.List() {
 		sess, err := s.reg.Session(info.Name)
@@ -719,6 +841,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			g.BatchRequests = c.batches.Load()
 			g.BatchedQueries = c.batchQs.Load()
 			g.Failures = c.failures.Load()
+			g.SamplesDrawn = c.samplesDrawn.Load()
+			g.EarlyStops = c.earlyStops.Load()
 			g.Modes = modesResponse{
 				TerminalSet: c.modeTerminalSet.Load(),
 				Conditional: c.modeConditional.Load(),
@@ -729,6 +853,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		totalBatches += g.BatchRequests
 		totalBatchQs += g.BatchedQueries
 		totalFailures += g.Failures
+		totalSamples += g.SamplesDrawn
+		totalEarlyStops += g.EarlyStops
 		totalModes.TerminalSet += g.Modes.TerminalSet
 		totalModes.Conditional += g.Modes.Conditional
 		totalModes.TopK += g.Modes.TopK
@@ -742,6 +868,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"batch_requests":  totalBatches,
 		"batched_queries": totalBatchQs,
 		"failures":        totalFailures,
+		"samples_drawn":   totalSamples,
+		"early_stops":     totalEarlyStops,
 		"modes":           totalModes,
 	})
 }
@@ -864,11 +992,35 @@ func (s *server) handleReliability(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if req.Exact && (req.Stream || req.Rounds != 0 || req.TargetWidth != 0) {
+		writeError(w, http.StatusBadRequest,
+			errors.New(`exact queries do not sample: "stream", "rounds" and "target_width" need a sampling query`))
+		return
+	}
+	opts, err = anytimeOptions(opts, req.Rounds, req.TargetWidth, req.Stream)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	if req.Trace {
 		opts = append(opts, netrel.WithTrace())
 	}
 	spec := netrel.QuerySpec{Mode: mode, Terminals: req.Terminals, Evidence: toEvidence(req.Evidence)}
 	c := s.countersFor(name)
+	// A streaming request commits to SSE before solving: every round
+	// boundary emits a "progress" event, and the terminal "result" (or
+	// "error") event carries what the JSON response would have been. The
+	// progress sink runs on this goroutine, so the writes never race.
+	var sse *sseWriter
+	if req.Stream {
+		if sse, err = newSSEWriter(w); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		opts = append(opts, netrel.WithProgress(func(p netrel.Progress) {
+			sse.event("progress", toProgressJSON(p))
+		}))
+	}
 	// Every request carries a telemetry trace — it feeds the per-graph
 	// phase and latency metrics and the slow-query log; "trace": true
 	// additionally echoes the breakdown on the result. Observation-only:
@@ -887,6 +1039,12 @@ func (s *server) handleReliability(w http.ResponseWriter, r *http.Request) {
 		if c != nil {
 			c.failures.Add(1)
 		}
+		if sse != nil {
+			// The 200 and the event stream are already on the wire; the error
+			// becomes the stream's terminal event instead of a status.
+			sse.event("error", map[string]string{"error": err.Error()})
+			return
+		}
 		writeError(w, statusFor(err), err)
 		return
 	}
@@ -896,12 +1054,17 @@ func (s *server) handleReliability(w http.ResponseWriter, r *http.Request) {
 	}
 	s.recordQuery(name, mode.String(), tr, elapsed)
 	s.logSlow(ctx, name, mode.String(), tr, elapsed)
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"graph":  name,
 		"mode":   mode.String(),
 		"result": toResponse(res),
 		"cache":  toCacheResponse(sess.CacheStats()),
-	})
+	}
+	if sse != nil {
+		sse.event("result", body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -931,6 +1094,11 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	opts, err = anytimeOptions(opts, req.Rounds, req.TargetWidth, req.Stream)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	if req.Trace {
 		opts = append(opts, netrel.WithTrace())
 	}
@@ -950,6 +1118,19 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		modes[i] = mode
 	}
 	c := s.countersFor(name)
+	// Streaming batches emit one "progress" event per query per round
+	// boundary (fan-in-shared subproblems tighten several queries at once),
+	// then the terminal "result" event with the normal batch body.
+	var sse *sseWriter
+	if req.Stream {
+		if sse, err = newSSEWriter(w); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		opts = append(opts, netrel.WithProgress(func(p netrel.Progress) {
+			sse.event("progress", toProgressJSON(p))
+		}))
+	}
 	before := sess.CacheStats()
 	planBefore := sess.PlanStats()
 	tr := telemetry.New()
@@ -966,6 +1147,10 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		if c != nil {
 			c.failures.Add(1)
+		}
+		if sse != nil {
+			sse.event("error", map[string]string{"error": err.Error()})
+			return
 		}
 		writeError(w, statusFor(err), err)
 		return
@@ -994,7 +1179,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if n := uint64(len(results)); planned > n {
 		planned = n
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"graph":           name,
 		"results":         out,
 		"duration_ms":     float64(elapsed) / float64(time.Millisecond),
@@ -1003,7 +1188,12 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		"cache":           toCacheResponse(after),
 		"queries_planned": planned,
 		"queries_deduped": uint64(len(results)) - planned,
-	})
+	}
+	if sse != nil {
+		sse.event("result", body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleTopK serves top-k reliable search: rank every vertex outside the

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -729,6 +730,296 @@ func TestLoadGraphFromFileAndDataset(t *testing.T) {
 	}
 	if _, _, err := loadGraph(filepath.Join(dir, "missing.tsv"), "", "", 0); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// gridGraph builds a 5x5 grid whose S2BDD exceeds small widths, so queries
+// at a narrow daemon default width genuinely sample — the workload the
+// streaming and anytime tests need.
+func gridGraph(t *testing.T) *netrel.Graph {
+	t.Helper()
+	g := netrel.NewGraph(25)
+	for r := 0; r < 5; r++ {
+		for c := 0; c < 5; c++ {
+			if c+1 < 5 {
+				if err := g.AddEdge(r*5+c, r*5+c+1, 0.5); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if r+1 < 5 {
+				if err := g.AddEdge(r*5+c, (r+1)*5+c, 0.5); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func gridServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	def := testDefaults()
+	def.width = 4
+	eng := netrel.NewEngine(netrel.EngineConfig{})
+	t.Cleanup(eng.Close)
+	srv, err := newServer(eng, def, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.register(defaultGraphName, "grid", gridGraph(t)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// sseEvent is one parsed Server-Sent Event.
+type sseEvent struct {
+	name string
+	data []byte
+}
+
+// postSSE posts a streaming request and parses the full event stream.
+func postSSE(t *testing.T, url, body string) []sseEvent {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Fatalf("stream content type %q", ct)
+	}
+	var events []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = []byte(strings.TrimPrefix(line, "data: "))
+		case line == "":
+			if cur.name != "" {
+				events = append(events, cur)
+				cur = sseEvent{}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+// TestStreamingReliability: "stream": true turns the response into an SSE
+// stream of monotonically tightening bounds, terminated by a "result" event
+// bit-identical to the non-streaming answer.
+func TestStreamingReliability(t *testing.T) {
+	// The stream goes first: a warm cache would answer without sampling and
+	// the stream would (correctly) collapse to a single final event.
+	_, ts := gridServer(t)
+	events := postSSE(t, ts.URL+"/v1/reliability",
+		`{"terminals":[0,24],"samples":3000,"seed":7,"stream":true,"rounds":5}`)
+	var progress []progressJSON
+	var result *queryResponse
+	for _, e := range events {
+		switch e.name {
+		case "progress":
+			var p progressJSON
+			if err := json.Unmarshal(e.data, &p); err != nil {
+				t.Fatal(err)
+			}
+			progress = append(progress, p)
+		case "result":
+			var body struct {
+				Result queryResponse `json:"result"`
+			}
+			if err := json.Unmarshal(e.data, &body); err != nil {
+				t.Fatal(err)
+			}
+			result = &body.Result
+		case "error":
+			t.Fatalf("stream errored: %s", e.data)
+		}
+	}
+	if len(progress) < 2 {
+		t.Fatalf("expected multiple progress events, got %d", len(progress))
+	}
+	lo, hi := progress[0].Lower, progress[0].Upper
+	for i, p := range progress {
+		if p.Lower > p.Upper {
+			t.Fatalf("progress %d inverted: [%v,%v]", i, p.Lower, p.Upper)
+		}
+		if p.Lower < lo-1e-12 || p.Upper > hi+1e-12 {
+			t.Fatalf("progress %d widened: [%v,%v] after [%v,%v]", i, p.Lower, p.Upper, lo, hi)
+		}
+		lo, hi = p.Lower, p.Upper
+	}
+	if !progress[len(progress)-1].Done {
+		t.Fatal("final progress event not marked done")
+	}
+	if result == nil {
+		t.Fatal("stream ended without a result event")
+	}
+	if result.SamplesUsed == 0 {
+		t.Fatal("workload not exercising the sampling path")
+	}
+	if result.Reliability < lo-1e-12 || result.Reliability > hi+1e-12 {
+		t.Fatalf("result %v outside streamed bounds [%v,%v]", result.Reliability, lo, hi)
+	}
+	// eps = 0, so the round structure must be invisible in the result: the
+	// plain (cache-served, hence bit-identical-or-bust) query must agree.
+	var plain struct {
+		Result queryResponse `json:"result"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/reliability",
+		`{"terminals":[0,24],"samples":3000,"seed":7}`, &plain); code != http.StatusOK {
+		t.Fatalf("plain status %d", code)
+	}
+	if result.Reliability != plain.Result.Reliability || result.SamplesUsed != plain.Result.SamplesUsed {
+		t.Fatalf("streamed result (%v, %d draws) differs from plain (%v, %d draws)",
+			result.Reliability, result.SamplesUsed, plain.Result.Reliability, plain.Result.SamplesUsed)
+	}
+}
+
+// TestStreamingBatch: a streaming batch emits per-query progress and one
+// terminal result event whose answers match the non-streaming batch.
+func TestStreamingBatch(t *testing.T) {
+	_, ts := gridServer(t)
+	body := `{"queries":[{"terminals":[0,24]},{"terminals":[0,12]}],"samples":2000,"seed":3`
+	events := postSSE(t, ts.URL+"/v1/batch", body+`,"stream":true,"rounds":3}`)
+	perQuery := map[int][]progressJSON{}
+	var results []queryResponse
+	for _, e := range events {
+		switch e.name {
+		case "progress":
+			var p progressJSON
+			if err := json.Unmarshal(e.data, &p); err != nil {
+				t.Fatal(err)
+			}
+			perQuery[p.Query] = append(perQuery[p.Query], p)
+		case "result":
+			var out struct {
+				Results []queryResponse `json:"results"`
+			}
+			if err := json.Unmarshal(e.data, &out); err != nil {
+				t.Fatal(err)
+			}
+			results = out.Results
+		case "error":
+			t.Fatalf("stream errored: %s", e.data)
+		}
+	}
+	if len(perQuery) != 2 {
+		t.Fatalf("progress covered %d queries, want 2", len(perQuery))
+	}
+	for q, ps := range perQuery {
+		lo, hi := ps[0].Lower, ps[0].Upper
+		for i, p := range ps {
+			if p.Lower > p.Upper || p.Lower < lo-1e-12 || p.Upper > hi+1e-12 {
+				t.Fatalf("query %d progress %d not tightening: [%v,%v]", q, i, p.Lower, p.Upper)
+			}
+			lo, hi = p.Lower, p.Upper
+		}
+		if !ps[len(ps)-1].Done {
+			t.Fatalf("query %d final progress not marked done", q)
+		}
+	}
+	if len(results) != 2 {
+		t.Fatalf("result event carried %d results, want 2", len(results))
+	}
+	// Same batch without streaming (cache or not, answers are bit-identical).
+	var plain struct {
+		Results []queryResponse `json:"results"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/batch", body+`}`, &plain); code != http.StatusOK {
+		t.Fatalf("plain batch status %d", code)
+	}
+	for i := range results {
+		if results[i].Reliability != plain.Results[i].Reliability {
+			t.Fatalf("query %d: streamed %v vs plain %v", i, results[i].Reliability, plain.Results[i].Reliability)
+		}
+	}
+}
+
+// TestAnytimeValidation: malformed anytime knobs are 400s before any event
+// byte is written.
+func TestAnytimeValidation(t *testing.T) {
+	_, ts := testServer(t)
+	cases := []struct {
+		url, body, wantErr string
+	}{
+		{"/v1/reliability", `{"terminals":[0,2],"rounds":-1}`, "rounds"},
+		{"/v1/reliability", `{"terminals":[0,2],"target_width":-0.5}`, "target_width"},
+		{"/v1/reliability", `{"terminals":[0,2],"exact":true,"stream":true}`, "exact"},
+		{"/v1/reliability", `{"terminals":[0,2],"exact":true,"rounds":4}`, "exact"},
+		{"/v1/batch", `{"queries":[{"terminals":[0,2]}],"rounds":-2}`, "rounds"},
+		{"/v1/batch", `{"queries":[{"terminals":[0,2]}],"target_width":-1}`, "target_width"},
+	}
+	for _, c := range cases {
+		var got map[string]string
+		if code := postJSON(t, ts.URL+c.url, c.body, &got); code != http.StatusBadRequest {
+			t.Errorf("POST %s %q: status %d, want 400", c.url, c.body, code)
+		} else if !strings.Contains(got["error"], c.wantErr) {
+			t.Errorf("POST %s %q: error %q does not mention %q", c.url, c.body, got["error"], c.wantErr)
+		}
+	}
+}
+
+// TestSamplingCountersInStats: /v1/stats and /metrics expose the draws a
+// query made, and a generous target width registers early stops.
+func TestSamplingCountersInStats(t *testing.T) {
+	_, ts := gridServer(t)
+	if code := postJSON(t, ts.URL+"/v1/reliability",
+		`{"terminals":[0,24],"samples":2000,"seed":5}`, nil); code != http.StatusOK {
+		t.Fatalf("query status %d", code)
+	}
+	// A target width of 1 is already satisfied by the initial interval, so
+	// every subproblem stops before drawing its schedule.
+	if code := postJSON(t, ts.URL+"/v1/reliability",
+		`{"terminals":[4,20],"samples":2000,"seed":5,"rounds":4,"target_width":1}`, nil); code != http.StatusOK {
+		t.Fatalf("early-stop query status %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Graphs       map[string]graphStatsResponse `json:"graphs"`
+		SamplesDrawn uint64                        `json:"samples_drawn"`
+		EarlyStops   uint64                        `json:"early_stops"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	def := stats.Graphs[defaultGraphName]
+	if def.SamplesDrawn == 0 || stats.SamplesDrawn != def.SamplesDrawn {
+		t.Fatalf("samples_drawn graph/total = %d/%d, want matching nonzero", def.SamplesDrawn, stats.SamplesDrawn)
+	}
+	if def.EarlyStops == 0 || stats.EarlyStops != def.EarlyStops {
+		t.Fatalf("early_stops graph/total = %d/%d, want matching nonzero", def.EarlyStops, stats.EarlyStops)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, metric := range []string{"netrel_samples_drawn_total", "netrel_early_stops_total"} {
+		if !strings.Contains(buf.String(), metric) {
+			t.Errorf("/metrics missing %s", metric)
+		}
 	}
 }
 

@@ -147,6 +147,11 @@ func (s *server) registerGraphMetrics(name string, sess *netrel.Session, c *grap
 	counterFn("netrel_planner_subproblems_total",
 		"Subproblem references across all batched queries, before dedup.",
 		func() uint64 { return sess.PlanStats().TotalSubproblems })
+	counterFn("netrel_samples_drawn_total",
+		"Completion samples drawn across answered requests.", c.samplesDrawn.Load)
+	counterFn("netrel_early_stops_total",
+		"Subproblems halted by a target width before exhausting their sample schedule.",
+		c.earlyStops.Load)
 
 	gm := &graphMetrics{latency: make(map[string]*telemetry.Histogram, len(queryModeLabels))}
 	for _, mode := range queryModeLabels {
@@ -177,7 +182,8 @@ func (s *server) pruneGraphMetrics(name string) {
 
 // recordQuery folds one answered request into its graph's series: a latency
 // observation under the mode label, the request trace's per-phase
-// wall-clock, and — when the request queued for admission — its queue wait.
+// wall-clock, its sampling effort (draws made, subproblems early-stopped),
+// and — when the request queued for admission — its queue wait.
 func (s *server) recordQuery(name, mode string, tr *telemetry.Trace, elapsed time.Duration) {
 	m := s.metrics
 	m.mu.Lock()
@@ -190,6 +196,14 @@ func (s *server) recordQuery(name, mode string, tr *telemetry.Trace, elapsed tim
 		h.Observe(elapsed.Seconds())
 	}
 	snap := tr.Snapshot()
+	if c := s.countersFor(name); c != nil {
+		if n := snap.Annots[telemetry.AnnotSamplesDrawn]; n > 0 {
+			c.samplesDrawn.Add(uint64(n))
+		}
+		if n := snap.Annots[telemetry.AnnotEarlyStops]; n > 0 {
+			c.earlyStops.Add(uint64(n))
+		}
+	}
 	for p := telemetry.Phase(0); p < telemetry.NumPhases; p++ {
 		if snap.Nanos[p] != 0 {
 			gm.phaseNanos[p].Add(snap.Nanos[p])
@@ -278,6 +292,14 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards to the wrapped writer so SSE streaming works through the
+// instrumentation middleware.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // instrument wraps the mux with the cross-cutting request concerns: an
 // X-Request-Id (the client's, or a fresh one) echoed on the response and
 // carried in the context, the HTTP gauges and counters, and one structured
@@ -346,6 +368,9 @@ type phasesJSON struct {
 	QueriesDeduped     int64           `json:"queries_deduped,omitempty"`
 	Subproblems        int64           `json:"subproblems,omitempty"`
 	SubproblemsDeduped int64           `json:"subproblems_deduped,omitempty"`
+	SamplesDrawn       int64           `json:"samples_drawn,omitempty"`
+	EarlyStops         int64           `json:"early_stops,omitempty"`
+	Rounds             int64           `json:"rounds,omitempty"`
 }
 
 func toPhases(b *netrel.PhaseBreakdown) *phasesJSON {
@@ -359,6 +384,9 @@ func toPhases(b *netrel.PhaseBreakdown) *phasesJSON {
 		QueriesDeduped:     b.QueriesDeduped,
 		Subproblems:        b.Subproblems,
 		SubproblemsDeduped: b.SubproblemsDeduped,
+		SamplesDrawn:       b.SamplesDrawn,
+		EarlyStops:         b.EarlyStops,
+		Rounds:             b.Rounds,
 	}
 	for _, sp := range b.Spans {
 		out.Spans = append(out.Spans, phaseSpanJSON{

@@ -1,0 +1,87 @@
+package batch
+
+import (
+	"math"
+	"sort"
+)
+
+// Allocate splits pool indivisible sample units across items proportionally
+// to weights, capping each item at caps[i]. It is fully deterministic:
+// fractional shares are resolved by largest-remainder apportionment with
+// ties broken by index, and cap overflow is redistributed to items with
+// headroom in further proportional passes. When every weight is zero (no
+// bound-gap signal), the split falls back to headroom-proportional so the
+// pool is still spent. The returned shares sum to min(pool, Σcaps).
+func Allocate(pool int, weights []float64, caps []int) []int {
+	n := len(caps)
+	out := make([]int, n)
+	for pool > 0 {
+		// Items with headroom this pass, and their (sanitized) weights.
+		idx := make([]int, 0, n)
+		wsum := 0.0
+		for i := 0; i < n; i++ {
+			if caps[i]-out[i] <= 0 {
+				continue
+			}
+			idx = append(idx, i)
+			if w := weights[i]; w > 0 && !math.IsInf(w, 1) && !math.IsNaN(w) {
+				wsum += w
+			}
+		}
+		if len(idx) == 0 {
+			break
+		}
+		w := make([]float64, len(idx))
+		for j, i := range idx {
+			if wsum > 0 {
+				if wi := weights[i]; wi > 0 && !math.IsInf(wi, 1) && !math.IsNaN(wi) {
+					w[j] = wi
+				}
+			} else {
+				w[j] = float64(caps[i] - out[i])
+			}
+		}
+		tot := 0.0
+		for _, wi := range w {
+			tot += wi
+		}
+		if tot <= 0 {
+			break
+		}
+		// Floor shares plus largest-remainder for the leftover units.
+		shares := make([]int, len(idx))
+		rems := make([]float64, len(idx))
+		given := 0
+		for j := range idx {
+			exact := float64(pool) * w[j] / tot
+			fl := math.Floor(exact)
+			shares[j] = int(fl)
+			rems[j] = exact - fl
+			given += shares[j]
+		}
+		leftover := pool - given
+		if leftover > 0 {
+			order := make([]int, len(idx))
+			for j := range order {
+				order[j] = j
+			}
+			sort.SliceStable(order, func(a, b int) bool { return rems[order[a]] > rems[order[b]] })
+			for k := 0; k < leftover && k < len(order); k++ {
+				shares[order[k]]++
+			}
+		}
+		// Commit up to each cap; anything cut off stays in the pool for the
+		// next pass (which sees only items with headroom left).
+		committed := 0
+		for j, i := range idx {
+			give := min(shares[j], caps[i]-out[i])
+			out[i] += give
+			committed += give
+		}
+		pool -= committed
+		if committed == 0 {
+			break
+		}
+	}
+	return out
+}

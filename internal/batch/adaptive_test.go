@@ -1,0 +1,75 @@
+package batch
+
+import (
+	"math"
+	"testing"
+)
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+func TestAllocateSpendsPool(t *testing.T) {
+	got := Allocate(100, []float64{3, 1, 0}, []int{80, 80, 80})
+	if sum(got) != 100 {
+		t.Fatalf("allocated %v (sum %d), want 100", got, sum(got))
+	}
+	if got[0] <= got[1] {
+		t.Fatalf("heavier weight got fewer: %v", got)
+	}
+}
+
+func TestAllocateRespectsCaps(t *testing.T) {
+	got := Allocate(1000, []float64{5, 1, 1}, []int{10, 20, 30})
+	for i, cap := range []int{10, 20, 30} {
+		if got[i] > cap {
+			t.Fatalf("item %d over cap: %v", i, got)
+		}
+	}
+	if sum(got) != 60 {
+		t.Fatalf("pool exceeds caps yet sum %d != Σcaps 60: %v", sum(got), got)
+	}
+}
+
+func TestAllocateCapOverflowRedistributes(t *testing.T) {
+	// Item 0 dominates the weights but caps at 5; the rest must flow on.
+	got := Allocate(100, []float64{1e9, 1, 1}, []int{5, 100, 100})
+	if got[0] != 5 {
+		t.Fatalf("capped item got %d, want 5: %v", got[0], got)
+	}
+	if sum(got) != 100 {
+		t.Fatalf("overflow lost: %v (sum %d)", got, sum(got))
+	}
+}
+
+func TestAllocateZeroWeightsFallBack(t *testing.T) {
+	got := Allocate(30, []float64{0, 0, 0}, []int{10, 10, 10})
+	if sum(got) != 30 {
+		t.Fatalf("zero weights starved the pool: %v", got)
+	}
+}
+
+func TestAllocateDeterministicAndSane(t *testing.T) {
+	w := []float64{0.31, 0.07, math.NaN(), 2.5, 0}
+	caps := []int{7, 1000, 50, 3, 900}
+	a := Allocate(500, w, caps)
+	b := Allocate(500, w, caps)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic: %v vs %v", a, b)
+		}
+		if a[i] < 0 || a[i] > caps[i] {
+			t.Fatalf("share %d out of range: %v", i, a)
+		}
+	}
+	if sum(a) != 500 {
+		t.Fatalf("sum %d != 500: %v", sum(a), a)
+	}
+	if sum(Allocate(0, w, caps)) != 0 {
+		t.Fatal("zero pool allocated something")
+	}
+}

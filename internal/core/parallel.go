@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"math/rand/v2"
 
 	"netrel/internal/estimator"
@@ -60,9 +61,18 @@ func (r *run) chunkRNG(layer, stratum, chunk int) *rand.Rand {
 // schedule at a chunk boundary; the caller detects it via r.ctx.Err() and
 // discards the stratum's partial fold.
 func (r *run) forStratumChunks(layer int, front []int32, stratum, draws int, do func(c *completer, rng *rand.Rand, chunk, n int)) {
-	nchunks := numChunks(draws)
+	_ = r.forChunkRange(r.ctx, layer, front, stratum, 0, numChunks(draws), draws, do)
+}
+
+// forChunkRange runs do over the global chunk window [c0, c1) of a stratum
+// whose total draw budget is draws — the resumable sampler's counterpart of
+// forStratumChunks (which is the c0 = 0, c1 = numChunks(draws) case). Chunk
+// indices, and therefore RNG streams and per-chunk draw counts, are global:
+// executing a stratum's chunks across several windows folds exactly like
+// executing them in one.
+func (r *run) forChunkRange(ctx context.Context, layer int, front []int32, stratum, c0, c1, draws int, do func(c *completer, rng *rand.Rand, chunk, n int)) error {
 	slot := 0
-	_ = sampling.ForEachChunkCtx(r.ctx, r.cfg.Exec, nchunks, r.workers, func() func(int) {
+	return sampling.ForEachChunkRangeCtx(ctx, r.cfg.Exec, c0, c1-c0, r.workers, func() func(int) {
 		comp := r.completerSlot(slot)
 		slot++
 		comp.setLayer(layer, front)
@@ -74,6 +84,12 @@ func (r *run) forStratumChunks(layer int, front []int32, stratum, draws int, do 
 			do(comp, r.chunkRNG(layer, stratum, chunk), chunk, n)
 		}
 	})
+}
+
+// mixNodeFP mixes the picked node's identity into a completion fingerprint
+// so HT deduplication distinguishes identical completions of distinct nodes.
+func mixNodeFP(fp uint64, idx int) uint64 {
+	return fp ^ (uint64(idx)*0x9e3779b97f4a7c15 + 0x85ebca6b)
 }
 
 // completeChunksMC draws the stratum's completions with the Monte Carlo
@@ -123,8 +139,7 @@ func (r *run) completeChunksHT(layer int, front []int32, stratum, draws int, sna
 			}
 			// Deduplicate across nodes too: mix the node identity into the
 			// completion fingerprint.
-			fp ^= uint64(idx)*0x9e3779b97f4a7c15 + 0x85ebca6b
-			out = append(out, htDraw{fp: fp, q: s.p.Mul(pr).Div(mass)})
+			out = append(out, htDraw{fp: mixNodeFP(fp, idx), q: s.p.Mul(pr).Div(mass)})
 		}
 		res[chunk] = out
 	})

@@ -43,15 +43,29 @@ func Compute(g *ugraph.Graph, ts ugraph.Terminals, cfg Config) (Result, error) {
 // cancelled-then-retried run returns exactly what an uninterrupted run
 // would have.
 func ComputeContext(ctx context.Context, g *ugraph.Graph, ts ugraph.Terminals, cfg Config) (Result, error) {
-	cfg = cfg.withDefaults()
-	if err := g.Validate(); err != nil {
+	r, fixed, err := newRun(ctx, g, ts, cfg.withDefaults())
+	if err != nil {
 		return Result{}, err
 	}
+	if fixed != nil {
+		return *fixed, nil
+	}
+	return r.execute()
+}
+
+// newRun validates the inputs and assembles the run state shared by the
+// one-shot path (ComputeContext) and the resumable path (NewSampler). cfg
+// must already have defaults applied. A non-nil fixed result means the query
+// is trivially exact (fewer than two terminals) and no run is needed.
+func newRun(ctx context.Context, g *ugraph.Graph, ts ugraph.Terminals, cfg Config) (r *run, fixed *Result, err error) {
+	if err := g.Validate(); err != nil {
+		return nil, nil, err
+	}
 	if cfg.Samples < 0 {
-		return Result{}, fmt.Errorf("core: negative sample count %d", cfg.Samples)
+		return nil, nil, fmt.Errorf("core: negative sample count %d", cfg.Samples)
 	}
 	if len(ts) <= 1 {
-		return Result{
+		return nil, &Result{
 			Estimate: 1, Lower: 1, Upper: 1,
 			LowerX: xfloat.One, EstimateX: xfloat.One, Exact: true,
 			SamplesRequested: cfg.Samples,
@@ -66,13 +80,13 @@ func ComputeContext(ctx context.Context, g *ugraph.Graph, ts ugraph.Terminals, c
 	}
 	plan, err := frontier.NewPlan(g, ts, ord)
 	if err != nil {
-		return Result{}, err
+		return nil, nil, err
 	}
 	cw := cfg.ConstructionWorkers
 	if cw <= 0 {
 		cw = cfg.Workers
 	}
-	r := &run{
+	return &run{
 		ctx:      ctx,
 		cfg:      cfg,
 		plan:     plan,
@@ -82,8 +96,7 @@ func ComputeContext(ctx context.Context, g *ugraph.Graph, ts ugraph.Terminals, c
 		rng:      rand.New(rand.NewPCG(cfg.Seed, 0xa0761d6478bd642f)),
 		workers:  sampling.ClampWorkers(cfg.Workers, 0),
 		cworkers: sampling.ClampWorkers(cw, 0),
-	}
-	return r.execute()
+	}, nil, nil
 }
 
 // run carries the mutable state of one S2BDD execution.
@@ -132,6 +145,14 @@ type run struct {
 	// expandLayer); stale entries alias moved states but are overwritten
 	// before ever being read again.
 	chunkBuf []expandResult
+
+	// deferred switches sampleStratum from drawing to recording: each
+	// stratum's schedule (allocation, weight, pick table, frontier copy)
+	// is appended to strata for a Sampler to draw later (see sampler.go).
+	// Construction never reads a draw result, so deferral cannot change
+	// what gets built.
+	deferred bool
+	strata   []*stratumState
 
 	res Result
 }
@@ -235,7 +256,11 @@ func (r *run) execute() (Result, error) {
 		// neither is referenced past this point.
 		if len(deleted) > 0 {
 			r.sampleStratum(l+1, curF, deleted, deletedMass)
-			r.recycle(deleted)
+			if !r.deferred {
+				// Deferred strata keep their snapshots alive until the
+				// Sampler has drawn them, so their storage is not recycled.
+				r.recycle(deleted)
+			}
 		}
 		for i := range nodes {
 			r.pool.Put(nodes[i].state)
@@ -429,6 +454,28 @@ func (r *run) sampleStratum(layer int, front []int32, snaps []snapshot, mass xfl
 	for i := range snaps {
 		acc += snaps[i].p.Div(mass).Float64()
 		cum[i] = acc
+	}
+
+	if r.deferred {
+		// Record the schedule instead of drawing. Everything computed above
+		// — the stochastic-rounding draw on r.rng included — is identical to
+		// the inline path, so construction proceeds bit-identically; the
+		// Sampler replays the draws later with the same (layer, stratum,
+		// chunk) streams. curF is a reused buffer, so the frontier is copied.
+		st := &stratumState{
+			layer: layer, ordinal: stratum,
+			front: append([]int32(nil), front...),
+			snaps: snaps, mass: mass,
+			weight: weight, cum: cum, acc: acc, draws: draws,
+		}
+		if r.cfg.Estimator == estimator.HorvitzThompson {
+			st.seen = make(map[uint64]bool, draws)
+		}
+		r.strata = append(r.strata, st)
+		return
+	}
+	if r.tr != nil {
+		r.tr.Annotate(telemetry.AnnotSamplesDrawn, int64(draws))
 	}
 	pick := func(rng *rand.Rand) int {
 		u := rng.Float64() * acc

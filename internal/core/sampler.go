@@ -1,0 +1,425 @@
+// Resumable S2BDD sampling.
+//
+// A Sampler runs construction once, up front, with the full sample budget —
+// stratum allocation, stochastic rounding, and the flush rules all see
+// exactly the schedule a one-shot run would — but records each stratum's
+// draws instead of making them. Resume(k) then advances the recorded
+// schedule k draws at a time. Because every whole chunk replays the same
+// (Seed, layer, stratum, chunk) stream a one-shot run derives, and partial
+// chunks keep their live RNG across calls (completions consume a
+// data-dependent number of variates, so a mid-chunk stream cannot be
+// re-derived), Resume(k₁) followed by Resume(k₂) folds bit-identically to a
+// single Resume(k₁+k₂) for any worker count — and exhausting the schedule is
+// bit-identical to ComputeContext.
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"time"
+
+	"netrel/internal/estimator"
+	"netrel/internal/telemetry"
+	"netrel/internal/ugraph"
+	"netrel/internal/xfloat"
+)
+
+// stratumState is one stratum's recorded schedule plus its partial fold.
+// Strata are drawn strictly in formation order, and within a stratum in
+// draw order, so the fold order matches the one-shot run's exactly.
+type stratumState struct {
+	layer   int
+	ordinal int     // 1-based stratum index (the one-shot run's r.res.Strata)
+	front   []int32 // frontier copy (execute reuses its frontier buffers)
+	snaps   []snapshot
+	mass    xfloat.F
+	weight  float64
+	cum     []float64
+	acc     float64
+	draws   int // scheduled draws (the one-shot allocation)
+	drawn   int // draws completed so far
+
+	conn int                  // Monte Carlo fold: connected count
+	ht   estimator.HTEstimate // Horvitz–Thompson fold
+	seen map[uint64]bool      // HT dedup, keyed by mixed fingerprint
+
+	// rng is the in-progress chunk's live stream, non-nil exactly when the
+	// previous Resume stopped mid-chunk.
+	rng *rand.Rand
+}
+
+// Sampler is a resumable S2BDD run: construction is complete, sampling
+// advances on demand. Not safe for concurrent use; Resume itself fans the
+// whole-chunk work out across the configured workers.
+type Sampler struct {
+	r     *run
+	fixed *Result // trivially exact query (fewer than two terminals)
+	cur   int     // first stratum with draws outstanding
+	total int     // scheduled draws across all strata
+	err   error   // sticky: a failed Resume poisons the sampler
+
+	// Monotone anytime interval: the running intersection of per-call
+	// confidence intervals, clamped to the proven bounds.
+	lo, hi float64
+	hasIv  bool
+}
+
+// NewSampler validates the query, runs S2BDD construction with the full
+// schedule of cfg deferred, and returns the sampler positioned at draw
+// zero. An exact query (no strata) yields a sampler with Remaining() == 0
+// whose Result is the exact answer.
+func NewSampler(ctx context.Context, g *ugraph.Graph, ts ugraph.Terminals, cfg Config) (*Sampler, error) {
+	r, fixed, err := newRun(ctx, g, ts, cfg.withDefaults())
+	if err != nil {
+		return nil, err
+	}
+	if fixed != nil {
+		return &Sampler{fixed: fixed}, nil
+	}
+	r.deferred = true
+	if _, err := r.execute(); err != nil {
+		return nil, err
+	}
+	s := &Sampler{r: r}
+	for _, st := range r.strata {
+		s.total += st.draws
+	}
+	return s, nil
+}
+
+// Scheduled returns the total draw budget the construction allocated.
+func (s *Sampler) Scheduled() int { return s.total }
+
+// Drawn returns the draws completed so far.
+func (s *Sampler) Drawn() int {
+	if s.fixed != nil {
+		return 0
+	}
+	return s.r.res.SamplesUsed
+}
+
+// Remaining returns the draws still outstanding. A poisoned sampler
+// reports zero so callers stop scheduling it.
+func (s *Sampler) Remaining() int {
+	if s.fixed != nil || s.err != nil {
+		return 0
+	}
+	return s.total - s.r.res.SamplesUsed
+}
+
+// Resume advances the schedule by up to k draws and returns the number
+// actually drawn (less than k only when the schedule ran dry or ctx was
+// cancelled). Draw results fold in schedule order regardless of how Resume
+// calls split the budget, so any split sequence is bit-identical to any
+// other. On error the sampler is poisoned: the partial fold is unusable and
+// every later call returns the same error.
+func (s *Sampler) Resume(ctx context.Context, k int) (int, error) {
+	if s.err != nil {
+		return 0, s.err
+	}
+	if s.fixed != nil || k <= 0 {
+		return 0, ctx.Err()
+	}
+	tr := telemetry.FromContext(ctx)
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
+	taken := 0
+	for s.cur < len(s.r.strata) && taken < k {
+		st := s.r.strata[s.cur]
+		take := min(st.draws-st.drawn, k-taken)
+		if err := s.drawStratum(ctx, st, take); err != nil {
+			s.err = err
+			break
+		}
+		taken += take
+		s.r.res.SamplesUsed += take
+		if st.drawn == st.draws {
+			s.finishStratum(st)
+			s.cur++
+		}
+	}
+	if tr != nil {
+		tr.Add(telemetry.PhaseSample, time.Since(t0))
+		if taken > 0 {
+			tr.Annotate(telemetry.AnnotSamplesDrawn, int64(taken))
+		}
+	}
+	return taken, s.err
+}
+
+// drawStratum advances one stratum by take draws (take ≤ its outstanding
+// budget) in three segments: the tail of a previously part-drawn chunk
+// (inline, on its saved live stream), then every fully covered chunk
+// (parallel, exactly like a one-shot run's schedule), then the head of a
+// new part-drawn chunk (inline, stream kept live for the next call).
+func (s *Sampler) drawStratum(ctx context.Context, st *stratumState, take int) error {
+	r := s.r
+	pick := func(rng *rand.Rand) int {
+		u := rng.Float64() * st.acc
+		i := sort.SearchFloat64s(st.cum, u)
+		if i >= len(st.snaps) {
+			i = len(st.snaps) - 1
+		}
+		return i
+	}
+	comp := r.completerSlot(0)
+	comp.setLayer(st.layer, st.front)
+	if off := st.drawn % stratumChunk; off != 0 {
+		n := min(stratumChunk-off, st.draws-st.drawn, take)
+		s.drawInline(st, comp, st.rng, n, pick)
+		st.drawn += n
+		take -= n
+		if st.drawn%stratumChunk == 0 || st.drawn == st.draws {
+			st.rng = nil
+		}
+		if take == 0 {
+			return ctx.Err()
+		}
+	}
+	// st.drawn is chunk-aligned here; cover the whole chunks in [c0, c1).
+	c0 := st.drawn / stratumChunk
+	end := st.drawn + take
+	c1 := end / stratumChunk
+	if end == st.draws {
+		c1 = numChunks(st.draws)
+	}
+	if c1 > c0 {
+		if err := s.drawChunks(ctx, st, c0, c1, pick); err != nil {
+			return err
+		}
+		covered := min(c1*stratumChunk, st.draws) - st.drawn
+		st.drawn += covered
+		take -= covered
+		if take == 0 {
+			return ctx.Err()
+		}
+	}
+	rng := r.chunkRNG(st.layer, st.ordinal, st.drawn/stratumChunk)
+	s.drawInline(st, comp, rng, take, pick)
+	st.drawn += take
+	st.rng = rng
+	return ctx.Err()
+}
+
+// drawInline makes n draws on the driver goroutine from rng, folding them
+// directly into the stratum state in draw order.
+func (s *Sampler) drawInline(st *stratumState, comp *completer, rng *rand.Rand, n int, pick func(*rand.Rand) int) {
+	switch s.r.cfg.Estimator {
+	case estimator.MonteCarlo:
+		for i := 0; i < n; i++ {
+			sp := &st.snaps[pick(rng)]
+			if ok, _, _ := comp.complete(&sp.state, false, rng); ok {
+				st.conn++
+			}
+		}
+	case estimator.HorvitzThompson:
+		for i := 0; i < n; i++ {
+			idx := pick(rng)
+			sp := &st.snaps[idx]
+			ok, pr, fp := comp.complete(&sp.state, true, rng)
+			if !ok {
+				continue
+			}
+			fp = mixNodeFP(fp, idx)
+			if st.seen[fp] {
+				continue
+			}
+			st.seen[fp] = true
+			// π uses the stratum's total scheduled draws, exactly as the
+			// one-shot fold does: the estimator is defined by the schedule,
+			// not by how far resumption has advanced through it.
+			st.ht.Add(sp.p.Mul(pr).Div(st.mass), true, st.draws)
+		}
+	}
+}
+
+// drawChunks executes the stratum's whole chunks [c0, c1) across the
+// configured workers and folds their results in chunk order. On a ctx
+// error the partial per-chunk results are discarded unfolded.
+func (s *Sampler) drawChunks(ctx context.Context, st *stratumState, c0, c1 int, pick func(*rand.Rand) int) error {
+	r := s.r
+	switch r.cfg.Estimator {
+	case estimator.MonteCarlo:
+		conn := make([]int, c1-c0)
+		err := r.forChunkRange(ctx, st.layer, st.front, st.ordinal, c0, c1, st.draws, func(comp *completer, rng *rand.Rand, chunk, n int) {
+			h := 0
+			for i := 0; i < n; i++ {
+				sp := &st.snaps[pick(rng)]
+				if ok, _, _ := comp.complete(&sp.state, false, rng); ok {
+					h++
+				}
+			}
+			conn[chunk-c0] = h
+		})
+		if err != nil {
+			return err
+		}
+		for _, h := range conn {
+			st.conn += h
+		}
+	case estimator.HorvitzThompson:
+		res := make([][]htDraw, c1-c0)
+		err := r.forChunkRange(ctx, st.layer, st.front, st.ordinal, c0, c1, st.draws, func(comp *completer, rng *rand.Rand, chunk, n int) {
+			var out []htDraw
+			for i := 0; i < n; i++ {
+				idx := pick(rng)
+				sp := &st.snaps[idx]
+				ok, pr, fp := comp.complete(&sp.state, true, rng)
+				if !ok {
+					continue
+				}
+				out = append(out, htDraw{fp: mixNodeFP(fp, idx), q: sp.p.Mul(pr).Div(st.mass)})
+			}
+			res[chunk-c0] = out
+		})
+		if err != nil {
+			return err
+		}
+		for _, chunk := range res {
+			for _, d := range chunk {
+				if st.seen[d.fp] {
+					continue
+				}
+				st.seen[d.fp] = true
+				st.ht.Add(d.q, true, st.draws)
+			}
+		}
+	}
+	return nil
+}
+
+// finishStratum folds a completed stratum's contribution into the run —
+// the same mass·hit·weight term, added in the same stratum order, as the
+// one-shot path — and releases the stratum's retained storage.
+func (s *Sampler) finishStratum(st *stratumState) {
+	r := s.r
+	hit := 0.0
+	switch r.cfg.Estimator {
+	case estimator.MonteCarlo:
+		hit = float64(st.conn) / float64(st.draws)
+	case estimator.HorvitzThompson:
+		hit = st.ht.Estimate()
+	}
+	r.estSampled = r.estSampled.Add(st.mass.MulFloat64(hit * st.weight))
+	r.recycle(st.snaps)
+	st.snaps, st.front, st.cum, st.seen, st.rng = nil, nil, nil, nil, nil
+}
+
+// Result assembles the answer for the draws made so far. With the schedule
+// exhausted it is bit-identical to the one-shot ComputeContext result; an
+// early-stopped sampler instead reports the anytime estimate (partial
+// strata contribute their partial hit rate, untouched strata their
+// midpoint) with the variance at the achieved draw count.
+func (s *Sampler) Result() (Result, error) {
+	if s.err != nil {
+		return Result{}, s.err
+	}
+	if s.fixed != nil {
+		return *s.fixed, nil
+	}
+	r := s.r
+	if s.cur >= len(r.strata) {
+		return r.finalize()
+	}
+	saved := r.estSampled
+	r.estSampled = s.anytimeEstSampled()
+	res, err := r.finalize()
+	r.estSampled = saved
+	if err != nil {
+		return res, err
+	}
+	pc := clamp01(res.Lower)
+	pd := clamp01(r.pd.Float64())
+	if pc+pd > 1 {
+		pd = 1 - pc
+	}
+	res.Variance = estimator.StratifiedMCVariance(res.Estimate, pc, pd, max(r.res.SamplesUsed, 1))
+	return res, nil
+}
+
+// anytimeEstSampled extends the completed-strata fold with the current
+// partial information: part-drawn strata contribute their running hit rate,
+// untouched strata the midpoint of their (wholly unknown) mass.
+func (s *Sampler) anytimeEstSampled() xfloat.F {
+	est := s.r.estSampled
+	for _, st := range s.r.strata[s.cur:] {
+		if st.drawn > 0 {
+			hit := 0.0
+			switch s.r.cfg.Estimator {
+			case estimator.MonteCarlo:
+				hit = float64(st.conn) / float64(st.drawn)
+			case estimator.HorvitzThompson:
+				hit = st.ht.Estimate()
+			}
+			est = est.Add(st.mass.MulFloat64(hit * st.weight))
+		} else {
+			est = est.Add(st.mass.MulFloat64(0.5))
+		}
+	}
+	return est
+}
+
+// Anytime returns the current confidence interval, point estimate, and draw
+// count. The interval is a 3σ band around the anytime estimate, widened by
+// half the still-untouched stratum mass, clamped to the proven bounds, and
+// intersected with every previous interval — so across calls the lower
+// bound never decreases and the upper never increases. Everything is
+// derived from deterministic fold state: two runs that have drawn the same
+// schedule prefix report the same interval, which keeps allocation
+// decisions built on it deterministic too.
+func (s *Sampler) Anytime() (lo, hi, est float64, drawn int) {
+	if s.fixed != nil {
+		return s.fixed.Lower, s.fixed.Upper, s.fixed.Estimate, 0
+	}
+	r := s.r
+	pcF := r.pc.Clamp01().Float64()
+	upF := r.pc.Add(r.sampledMass).Clamp01().Float64()
+	if !s.hasIv {
+		s.lo, s.hi = pcF, upF
+		s.hasIv = true
+	}
+	drawn = r.res.SamplesUsed
+	est = r.pc.Add(s.anytimeEstSampled()).Clamp01().Float64()
+	est = math.Min(math.Max(est, pcF), upF)
+	if r.res.Strata == 0 {
+		s.lo, s.hi = est, est
+		return s.lo, s.hi, est, drawn
+	}
+	// Mass no draw has touched yet: scheduled-but-unstarted strata plus any
+	// mass the schedule will never sample (skipped or zero-allocation
+	// strata, which are not recorded).
+	touched := 0.0
+	for _, st := range r.strata[:s.cur] {
+		touched += st.mass.Float64()
+	}
+	for _, st := range r.strata[s.cur:] {
+		if st.drawn > 0 {
+			touched += st.mass.Float64()
+		}
+	}
+	unknown := math.Max(0, r.sampledMass.Float64()-touched)
+	pd := clamp01(r.pd.Float64())
+	if pcF+pd > 1 {
+		pd = 1 - pcF
+	}
+	sigma := math.Sqrt(estimator.StratifiedMCVariance(est, pcF, pd, max(drawn, 1)))
+	half := 3*sigma + 0.5*unknown
+	clo := math.Max(est-half, pcF)
+	chi := math.Min(est+half, upF)
+	// Intersect with the running interval, order-preservingly: even if a
+	// later confidence interval drifts outside the running one, the bounds
+	// stay monotone and lo ≤ hi.
+	s.hi = math.Min(s.hi, math.Max(chi, s.lo))
+	s.lo = math.Max(s.lo, math.Min(clo, s.hi))
+	return s.lo, s.hi, est, drawn
+}
+
+// Width returns the current anytime interval width.
+func (s *Sampler) Width() float64 {
+	lo, hi, _, _ := s.Anytime()
+	return hi - lo
+}

@@ -44,6 +44,21 @@ type Executor interface {
 //
 // newWorker is always invoked on the calling goroutine (implementations
 // hand out pre-built per-slot state without synchronization).
+// ForEachChunkRangeCtx is ForEachChunkCtx over the half-open global chunk
+// range [first, first+n): chunks are claimed exactly as ForEachChunkCtx
+// claims [0, n), and fn receives the global chunk index. Resumable schedules
+// use it to execute a mid-stream window of a stratum's chunks with the same
+// per-chunk streams a full run would derive for those indices.
+func ForEachChunkRangeCtx(ctx context.Context, exec Executor, first, n, workers int, newWorker func() func(chunk int)) error {
+	if first == 0 {
+		return ForEachChunkCtx(ctx, exec, n, workers, newWorker)
+	}
+	return ForEachChunkCtx(ctx, exec, n, workers, func() func(int) {
+		fn := newWorker()
+		return func(c int) { fn(first + c) }
+	})
+}
+
 func ForEachChunkCtx(ctx context.Context, exec Executor, n, workers int, newWorker func() func(chunk int)) error {
 	if n <= 0 {
 		return ctx.Err()

@@ -88,6 +88,16 @@ const (
 	// post-dedup schedule solves Subproblems − SubproblemsDeduped jobs).
 	AnnotSubproblems
 	AnnotSubproblemsDeduped
+	// AnnotSamplesDrawn counts completion draws actually made for the
+	// request — equal to the static schedule when the request exhausts it,
+	// smaller when WithTargetWidth stops subproblems early.
+	AnnotSamplesDrawn
+	// AnnotEarlyStops counts subproblems whose sampling stopped on the
+	// target bound width with schedule budget still unspent.
+	AnnotEarlyStops
+	// AnnotRounds counts the adaptive sampling rounds the request ran
+	// (0 for the static single-shot path).
+	AnnotRounds
 	// NumAnnotations bounds the Annotation enum; it is not an annotation.
 	NumAnnotations
 )

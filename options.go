@@ -74,6 +74,16 @@ type options struct {
 	bddBudget      int
 	factorBudget   int
 	trace          bool
+	rounds         int
+	targetWidth    float64
+	progress       func(Progress)
+}
+
+// adaptive reports whether any anytime knob moves the solve onto the
+// round-based adaptive path. The default (one round, no target width, no
+// progress sink) keeps the static single-shot path, byte for byte.
+func (o *options) adaptive() bool {
+	return o.rounds > 1 || o.targetWidth > 0 || o.progress != nil
 }
 
 func defaultOptions() options {
@@ -264,6 +274,58 @@ func WithBDDNodeBudget(nodes int) Option {
 	}
 }
 
+// WithSampleRounds splits the sampling budget into n adaptive rounds
+// (default 1). With one round the solver draws every subproblem's full
+// static schedule in one shot — the historical behavior, bit for bit. With
+// n > 1, each round spends a slice of the remaining budget where bound-gap
+// × query-fan-in is largest (see batch.Allocate), re-reading the anytime
+// intervals between rounds; round boundaries are also where WithTargetWidth
+// is checked and WithProgress fires. Because resumed schedules fold
+// bit-identically to one-shot schedules, the round count alone never
+// changes a result — only WithTargetWidth can, by stopping early. Ignored
+// by the exact solvers.
+func WithSampleRounds(n int) Option {
+	return func(o *options) error {
+		if n < 1 {
+			return fmt.Errorf("netrel: sample rounds must be at least 1, got %d", n)
+		}
+		o.rounds = n
+		return nil
+	}
+}
+
+// WithTargetWidth stops a subproblem's sampling as soon as its anytime
+// confidence interval is no wider than eps (checked at round boundaries;
+// pair it with WithSampleRounds to control the check frequency). The
+// default eps = 0 never triggers, keeping results bit-identical to the
+// static schedule. Early-stopped results report the anytime estimate and
+// the samples actually drawn, and are not admitted to the session result
+// cache (only schedule-exhausted results are, since those are the ones
+// bit-identical to what any other query would compute). Ignored by the
+// exact solvers.
+func WithTargetWidth(eps float64) Option {
+	return func(o *options) error {
+		if eps < 0 || math.IsNaN(eps) {
+			return fmt.Errorf("netrel: target width must be non-negative, got %v", eps)
+		}
+		o.targetWidth = eps
+		return nil
+	}
+}
+
+// WithProgress streams anytime bounds: fn is invoked on the solving
+// goroutine after every sampling round, once per query, with monotonically
+// tightening [Lower, Upper] bounds, and a final sweep with Done set. fn
+// must not block for long (it stalls the solve) and must not call back into
+// the session. Observation-only: like WithTrace it never changes results,
+// and it is excluded from the cache fingerprint.
+func WithProgress(fn func(Progress)) Option {
+	return func(o *options) error {
+		o.progress = fn
+		return nil
+	}
+}
+
 // WithFactoringBudget caps the recursion count of the Factoring exact solver,
 // after which it fails with a too-large error. Values ≤ 0 (the default)
 // select the package default budget. Only Factoring reads it.
@@ -290,7 +352,11 @@ func buildOptions(opts []Option) (options, error) {
 // the parallel schedules are worker-count independent, so results are too —
 // as are WithTrace (observation-only: a traced query must hit the same
 // cache entries an untraced one fills) and the BDD baseline's node budget,
-// which the pipeline never reads.
+// which the pipeline never reads. The anytime knobs (WithSampleRounds,
+// WithTargetWidth, WithProgress) are excluded too: only schedule-exhausted
+// solves are admitted to the cache, and those are bit-identical to the
+// static schedule regardless of how rounds split it — so an adaptive query
+// may both read and warm the same entries a static one does.
 // exactOnly distinguishes Exact from Reliability runs over the same option
 // set.
 func (o *options) fingerprint(exactOnly bool) uint64 {

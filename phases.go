@@ -46,6 +46,11 @@ type PhaseBreakdown struct {
 	// queries both are zero — Result.Subproblems already reports the
 	// decomposition.
 	Subproblems, SubproblemsDeduped int64
+	// SamplesDrawn counts completion draws actually made; EarlyStops the
+	// subproblems halted by WithTargetWidth before exhausting their
+	// schedule; Rounds the adaptive sampling rounds run (zero on the
+	// static path).
+	SamplesDrawn, EarlyStops, Rounds int64
 }
 
 // Span returns the span of the named phase and whether it was recorded.
@@ -67,6 +72,9 @@ func newPhaseBreakdown(s telemetry.Snapshot) *PhaseBreakdown {
 		QueriesDeduped:     s.Annots[telemetry.AnnotQueriesDeduped],
 		Subproblems:        s.Annots[telemetry.AnnotSubproblems],
 		SubproblemsDeduped: s.Annots[telemetry.AnnotSubproblemsDeduped],
+		SamplesDrawn:       s.Annots[telemetry.AnnotSamplesDrawn],
+		EarlyStops:         s.Annots[telemetry.AnnotEarlyStops],
+		Rounds:             s.Annots[telemetry.AnnotRounds],
 	}
 	for p := telemetry.Phase(0); p < telemetry.NumPhases; p++ {
 		if s.Counts[p] == 0 {

@@ -508,8 +508,32 @@ func combineResults(out *Result, results []core.Result, factor xfloat.F) *Result
 }
 
 // finishPipeline solves a planned query's subproblems and combines them.
+// The anytime knobs (WithSampleRounds > 1, WithTargetWidth, WithProgress)
+// reroute the sampling solve through the adaptive round loop; exact solves
+// and the default options keep the static path.
 func finishPipeline(ctx context.Context, exec sampling.Executor, p *queryPlan, o options, exactOnly bool, cache *batch.Cache) (*Result, error) {
-	results, err := solveJobs(ctx, exec, p.jobs, o, exactOnly, cache)
+	var results []core.Result
+	var err error
+	if o.adaptive() && !exactOnly {
+		fanin := make([]int, len(p.jobs))
+		refs := make([]int, len(p.jobs))
+		for i := range p.jobs {
+			fanin[i] = 1
+			refs[i] = i
+		}
+		factor := p.factor.Clamp01().Float64()
+		var report func(int, bool, []jobBounds)
+		if o.progress != nil {
+			report = func(round int, final bool, bounds []jobBounds) {
+				lo, hi, est, drawn := combineBounds(factor, bounds, refs)
+				o.progress(Progress{Round: round, Lower: lo, Upper: hi,
+					Estimate: est, SamplesUsed: drawn, Done: final})
+			}
+		}
+		results, err = solveJobsAdaptive(ctx, exec, p.jobs, fanin, o, cache, report)
+	} else {
+		results, err = solveJobs(ctx, exec, p.jobs, o, exactOnly, cache)
+	}
 	if err != nil {
 		return nil, err
 	}
