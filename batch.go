@@ -117,7 +117,8 @@ func (s *Session) BatchReliabilityContext(ctx context.Context, queries []Query, 
 	dd := batch.DedupSpecs(sigs)
 
 	// Admission phase 1: the planning cost.
-	release, err := s.eng.admit(ctx, planCost(dd.Distinct()))
+	admittedCost := planCost(dd.Distinct())
+	release, err := s.eng.admit(ctx, admittedCost)
 	if err != nil {
 		return nil, err
 	}
@@ -192,7 +193,7 @@ func (s *Session) BatchReliabilityContext(ctx context.Context, queries []Query, 
 
 	// Admission phase 2: reprice at the post-dedup solve cost now that the
 	// unique-subproblem count is known. The slot is kept either way.
-	if err := s.eng.reprice(batchSolveCost(o, len(plan.Unique), dd.Distinct())); err != nil {
+	if err := s.eng.reprice(ctx, admittedCost, batchSolveCost(o, len(plan.Unique), dd.Distinct())); err != nil {
 		return nil, err
 	}
 

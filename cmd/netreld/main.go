@@ -94,28 +94,32 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		graphPath  = flag.String("graph", "", "graph TSV file (overrides -dataset)")
-		dataset    = flag.String("dataset", "Karate", "bundled dataset abbreviation (see datasets.Catalog)")
-		scale      = flag.String("scale", "small", "dataset scale: small|medium|full")
-		dataSeed   = flag.Uint64("dataseed", 42, "dataset generator seed")
-		cacheCap   = flag.Int("cache", netrel.DefaultCacheCapacity, "per-graph result-cache capacity (0 disables)")
-		samples    = flag.Int("samples", 10_000, "default sample budget s")
-		width      = flag.Int("width", 10_000, "default maximum S2BDD width w")
-		workers    = flag.Int("workers", 0, "default per-request worker budget (0 = GOMAXPROCS)")
-		maxSamples = flag.Int("maxsamples", 1_000_000, "per-request sample budget cap (0 = no cap)")
-		maxWidth   = flag.Int("maxwidth", 1_000_000, "per-request S2BDD width cap (0 = no cap)")
-		maxQueries = flag.Int("maxqueries", 4096, "per-batch query count cap (0 = no cap)")
-		pool       = flag.Int("pool", 0, "engine worker-pool size (0 = GOMAXPROCS)")
-		inFlight   = flag.Int("inflight", 8, "max concurrently solving requests (0 = unlimited)")
-		queue      = flag.Int("queue", 64, "admission queue depth beyond -inflight")
-		maxCost    = flag.Int64("maxcost", 100_000_000, "per-request cost cap in sample-draw-equivalent units: samples+construction budget per query; batches are checked pre-planning at planning cost and post-planning at their deduped solve cost (0 = no cap)")
-		maxBody    = flag.Int64("maxbody", 8<<20, "request body size cap in bytes")
-		maxGraphs  = flag.Int("maxgraphs", 64, "max registered graphs (0 = no cap)")
-		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
-		slowQuery  = flag.Duration("slowquery", time.Second, "log queries slower than this at warn level (0 disables)")
-		debugAddr  = flag.String("debugaddr", "", "pprof debug listen address, kept off the serving port (empty disables)")
-		logLevel   = flag.String("loglevel", "info", "log level: debug|info|warn|error")
+		addr         = flag.String("addr", ":8080", "listen address")
+		graphPath    = flag.String("graph", "", "graph TSV file (overrides -dataset)")
+		dataset      = flag.String("dataset", "Karate", "bundled dataset abbreviation (see datasets.Catalog)")
+		scale        = flag.String("scale", "small", "dataset scale: small|medium|full")
+		dataSeed     = flag.Uint64("dataseed", 42, "dataset generator seed")
+		cacheCap     = flag.Int("cache", netrel.DefaultCacheCapacity, "per-graph result-cache capacity (0 disables)")
+		samples      = flag.Int("samples", 10_000, "default sample budget s")
+		width        = flag.Int("width", 10_000, "default maximum S2BDD width w")
+		workers      = flag.Int("workers", 0, "default per-request worker budget (0 = GOMAXPROCS)")
+		maxSamples   = flag.Int("maxsamples", 1_000_000, "per-request sample budget cap (0 = no cap)")
+		maxWidth     = flag.Int("maxwidth", 1_000_000, "per-request S2BDD width cap (0 = no cap)")
+		maxQueries   = flag.Int("maxqueries", 4096, "per-batch query count cap (0 = no cap)")
+		pool         = flag.Int("pool", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+		inFlight     = flag.Int("inflight", 8, "max concurrently solving requests (0 = unlimited)")
+		queue        = flag.Int("queue", 64, "admission queue depth beyond -inflight")
+		maxCost      = flag.Int64("maxcost", 100_000_000, "per-request cost cap in sample-draw-equivalent units: samples+construction budget per query; batches are checked pre-planning at planning cost and post-planning at their deduped solve cost (0 = no cap)")
+		maxBody      = flag.Int64("maxbody", 8<<20, "request body size cap in bytes")
+		maxGraphs    = flag.Int("maxgraphs", 64, "max registered graphs (0 = no cap)")
+		maxBytes     = flag.Int64("maxbytes", 0, "registry retained-memory ceiling in bytes: under pressure the least-recently-queried graphs' indexes and result caches are released and lazily rebuilt on their next query (0 = unlimited)")
+		queryTimeout = flag.Duration("querytimeout", 0, "per-request server-side deadline; requests over it are cancelled and answered 504 (0 = off)")
+		quotaRate    = flag.Float64("quotarate", 0, "default per-graph cost quota refill rate in sample-draw-equivalent units per second; over-quota requests get 429 (0 = no quota)")
+		quotaBurst   = flag.Float64("quotaburst", 0, "default per-graph cost quota burst in sample-draw-equivalent units (0 = one second of refill)")
+		drain        = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+		slowQuery    = flag.Duration("slowquery", time.Second, "log queries slower than this at warn level (0 disables)")
+		debugAddr    = flag.String("debugaddr", "", "pprof debug listen address, kept off the serving port (empty disables)")
+		logLevel     = flag.String("loglevel", "info", "log level: debug|info|warn|error")
 	)
 	flag.Parse()
 
@@ -139,22 +143,26 @@ func main() {
 		MaxCost:     *maxCost,
 	})
 	srv, err := newServer(eng, defaults{
-		samples:    *samples,
-		width:      *width,
-		workers:    *workers,
-		maxSamples: *maxSamples,
-		maxWidth:   *maxWidth,
-		maxQueries: *maxQueries,
-		maxBody:    *maxBody,
-		maxGraphs:  *maxGraphs,
-		cacheCap:   *cacheCap,
-		slowQuery:  *slowQuery,
+		samples:      *samples,
+		width:        *width,
+		workers:      *workers,
+		maxSamples:   *maxSamples,
+		maxWidth:     *maxWidth,
+		maxQueries:   *maxQueries,
+		maxBody:      *maxBody,
+		maxGraphs:    *maxGraphs,
+		maxBytes:     *maxBytes,
+		cacheCap:     *cacheCap,
+		slowQuery:    *slowQuery,
+		queryTimeout: *queryTimeout,
+		quotaRate:    *quotaRate,
+		quotaBurst:   *quotaBurst,
 	}, logger)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "netreld:", err)
 		os.Exit(1)
 	}
-	if err := srv.register(defaultGraphName, source, g); err != nil {
+	if err := srv.register(defaultGraphName, source, g, graphQoS{}); err != nil {
 		fmt.Fprintln(os.Stderr, "netreld:", err)
 		os.Exit(1)
 	}
@@ -270,8 +278,16 @@ type defaults struct {
 	maxQueries int
 	maxBody    int64
 	maxGraphs  int
+	maxBytes   int64
 	cacheCap   int
 	slowQuery  time.Duration
+	// queryTimeout is the server-side per-request deadline (-querytimeout;
+	// 0 = off): requests over it are cancelled mid-solve and answered 504.
+	queryTimeout time.Duration
+	// quotaRate and quotaBurst are the default per-graph cost quota
+	// (-quotarate/-quotaburst) applied to graphs that don't choose their
+	// own at registration; rate 0 means no quota.
+	quotaRate, quotaBurst float64
 }
 
 // graphCounters tracks per-graph request outcomes, including how many
@@ -306,8 +322,33 @@ func (c *graphCounters) countMode(m netrel.QueryMode, n uint64) {
 	}
 }
 
+// graphHandle binds one registration generation of a graph: the session,
+// its request counters, and its metric instruments, created together by
+// register and fetched together at the start of each request. Handlers
+// hold the handle for the whole request, so a graph evicted and
+// re-registered under the same name mid-request never receives the old
+// generation's writes — they land on the old handle's instruments, whose
+// series were pruned with the old generation (orphaned and harmless),
+// instead of interleaving into the new generation's freshly created
+// series.
+type graphHandle struct {
+	name string
+	sess *netrel.Session
+	c    *graphCounters
+	gm   *graphMetrics
+}
+
+// graphQoS is a graph's scheduling and quota configuration at
+// registration; zero fields fall back to the daemon defaults (weight 1,
+// -quotarate/-quotaburst).
+type graphQoS struct {
+	weight     int
+	quotaRate  float64
+	quotaBurst float64
+}
+
 // server owns the registry, the engine, the metrics catalogue, and the
-// per-graph counters.
+// per-graph handles.
 type server struct {
 	reg      *netrel.Registry
 	eng      *netrel.Engine
@@ -317,8 +358,8 @@ type server struct {
 	started  time.Time
 	draining atomic.Bool
 
-	mu       sync.RWMutex
-	counters map[string]*graphCounters
+	mu     sync.RWMutex
+	graphs map[string]*graphHandle
 }
 
 // newServer builds the server around the engine. A nil logger discards logs
@@ -332,14 +373,15 @@ func newServer(eng *netrel.Engine, def defaults, logger *slog.Logger) (*server, 
 	}
 	reg := netrel.NewRegistry(eng)
 	reg.SetCacheCapacity(def.cacheCap)
+	reg.SetMaxBytes(def.maxBytes)
 	s := &server{
-		reg:      reg,
-		eng:      eng,
-		def:      def,
-		logger:   logger,
-		metrics:  newServerMetrics(),
-		started:  time.Now(),
-		counters: make(map[string]*graphCounters),
+		reg:     reg,
+		eng:     eng,
+		def:     def,
+		logger:  logger,
+		metrics: newServerMetrics(),
+		started: time.Now(),
+		graphs:  make(map[string]*graphHandle),
 	}
 	s.initMetrics()
 	return s, nil
@@ -349,11 +391,14 @@ func newServer(eng *netrel.Engine, def defaults, logger *slog.Logger) (*server, 
 // already exist (a capacity condition, not a name conflict).
 var errGraphLimit = errors.New("graph limit reached")
 
-// register adds a graph to the registry with its counters. The whole
-// check-and-register sequence holds s.mu so two concurrent registrations
-// cannot both squeeze past the -maxgraphs limit; the per-graph cache
-// capacity is applied by the registry before the session becomes visible.
-func (s *server) register(name, source string, g *netrel.Graph) error {
+// register adds a graph to the registry with its counters, metrics, and
+// QoS configuration (weight and quota, falling back to the daemon
+// defaults). The whole check-and-register sequence holds s.mu so two
+// concurrent registrations cannot both squeeze past the -maxgraphs limit
+// and the handle appears atomically with the registration; the per-graph
+// cache capacity is applied by the registry before the session becomes
+// visible.
+func (s *server) register(name, source string, g *netrel.Graph, qos graphQoS) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.def.maxGraphs > 0 && s.reg.Len() >= s.def.maxGraphs {
@@ -362,18 +407,54 @@ func (s *server) register(name, source string, g *netrel.Graph) error {
 	if err := s.reg.Register(name, source, g); err != nil {
 		return err
 	}
-	c := &graphCounters{}
-	s.counters[name] = c
-	if sess, err := s.reg.Session(name); err == nil {
-		s.registerGraphMetrics(name, sess, c)
+	sess, err := s.reg.Session(name)
+	if err != nil {
+		return err // unreachable: registered under the same lock
 	}
+	if qos.weight > 0 {
+		s.eng.SetTenantWeight(name, qos.weight)
+	}
+	rate, burst := qos.quotaRate, qos.quotaBurst
+	if rate <= 0 {
+		rate, burst = s.def.quotaRate, s.def.quotaBurst
+	}
+	if rate > 0 {
+		s.eng.SetTenantQuota(name, rate, burst)
+	}
+	c := &graphCounters{}
+	gm := s.registerGraphMetrics(name, sess, c)
+	s.graphs[name] = &graphHandle{name: name, sess: sess, c: c, gm: gm}
 	return nil
 }
 
-func (s *server) countersFor(name string) *graphCounters {
+// graph fetches a request's graph handle — session, counters, and metric
+// instruments of one registration generation, resolved once at request
+// start ("" = the default graph). The fetch counts as a registry touch,
+// driving last-query recency and memory-pressure enforcement.
+func (s *server) graph(name string) (*graphHandle, error) {
+	if name == "" {
+		name = defaultGraphName
+	}
+	s.mu.RLock()
+	h := s.graphs[name]
+	s.mu.RUnlock()
+	if h == nil {
+		return nil, fmt.Errorf("%w: %q", netrel.ErrGraphNotFound, name)
+	}
+	// Touch the registry (recency + pressure enforcement). Under
+	// evict/re-register churn the registry may already hold a newer
+	// generation than h — this request still runs on h's session and
+	// records into h's instruments, never the new generation's.
+	if _, err := s.reg.Session(name); err != nil {
+		return nil, err // evicted between the handle fetch and now
+	}
+	return h, nil
+}
+
+func (s *server) handleFor(name string) *graphHandle {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.counters[name] // nil for just-evicted graphs: callers tolerate
+	return s.graphs[name] // nil for just-evicted graphs: callers tolerate
 }
 
 // drain flips the server into shutdown mode: new requests 503 and the
@@ -461,13 +542,18 @@ type topkRequest struct {
 }
 
 // registerRequest registers a new graph: either inline TSV content or a
-// bundled dataset spec.
+// bundled dataset spec, plus optional QoS settings — a fair-share weight
+// and a cost-quota token bucket (sample-draw-equivalent units; rate 0
+// falls back to the daemon's -quotarate/-quotaburst defaults).
 type registerRequest struct {
-	Name    string `json:"name"`
-	TSV     string `json:"tsv,omitempty"`
-	Dataset string `json:"dataset,omitempty"`
-	Scale   string `json:"scale,omitempty"`
-	Seed    uint64 `json:"seed,omitempty"`
+	Name       string  `json:"name"`
+	TSV        string  `json:"tsv,omitempty"`
+	Dataset    string  `json:"dataset,omitempty"`
+	Scale      string  `json:"scale,omitempty"`
+	Seed       uint64  `json:"seed,omitempty"`
+	Weight     int     `json:"weight,omitempty"`
+	QuotaRate  float64 `json:"quota_rate,omitempty"`
+	QuotaBurst float64 `json:"quota_burst,omitempty"`
 }
 
 // queryResponse serializes a netrel.Result.
@@ -512,27 +598,47 @@ type modesResponse struct {
 	TopK        uint64 `json:"topk"`
 }
 
+// qosResponse is a graph's tenant view in /v1/stats: its fair-share
+// weight, quota configuration and bucket level, and per-tenant admission
+// outcomes.
+type qosResponse struct {
+	Weight          int     `json:"weight"`
+	QuotaRate       float64 `json:"quota_rate,omitempty"`
+	QuotaBurst      float64 `json:"quota_burst,omitempty"`
+	QuotaTokens     float64 `json:"quota_tokens,omitempty"`
+	QuotaRejected   uint64  `json:"quota_rejected"`
+	Queued          int     `json:"queued"`
+	AdmissionWaits  uint64  `json:"admission_waits"`
+	AdmissionWaitMS float64 `json:"admission_wait_ms"`
+}
+
 type graphStatsResponse struct {
-	Source         string          `json:"source"`
-	Vertices       int             `json:"vertices"`
-	Edges          int             `json:"edges"`
-	IndexBuilt     bool            `json:"index_built"`
-	Queries        uint64          `json:"queries"`
-	BatchRequests  uint64          `json:"batch_requests"`
-	BatchedQueries uint64          `json:"batched_queries"`
-	Failures       uint64          `json:"failures"`
+	Source     string `json:"source"`
+	Vertices   int    `json:"vertices"`
+	Edges      int    `json:"edges"`
+	IndexBuilt bool   `json:"index_built"`
+	// RetainedBytes is the heap held by the graph's 2ECC index and result
+	// cache; IndexBuilds counts index constructions (>1 means
+	// memory-pressure releases forced lazy rebuilds).
+	RetainedBytes  int64  `json:"retained_bytes"`
+	IndexBuilds    uint64 `json:"index_builds"`
+	Queries        uint64 `json:"queries"`
+	BatchRequests  uint64 `json:"batch_requests"`
+	BatchedQueries uint64 `json:"batched_queries"`
+	Failures       uint64 `json:"failures"`
 	// SamplesDrawn is the graph's accumulated completion-draw count;
 	// EarlyStops counts subproblems a "target_width" halted before their
 	// schedule was exhausted.
-	SamplesDrawn uint64 `json:"samples_drawn"`
-	EarlyStops   uint64 `json:"early_stops"`
-	Modes          modesResponse   `json:"modes"`
-	Cache          cacheResponse   `json:"cache"`
-	Planner        plannerResponse `json:"planner"`
+	SamplesDrawn uint64          `json:"samples_drawn"`
+	EarlyStops   uint64          `json:"early_stops"`
+	Modes        modesResponse   `json:"modes"`
+	Cache        cacheResponse   `json:"cache"`
+	Planner      plannerResponse `json:"planner"`
 	// PhaseSeconds is the graph's accumulated pipeline phase wall-clock
 	// (the /v1/stats view of netrel_phase_seconds_total); omitted until a
 	// query has run.
 	PhaseSeconds map[string]float64 `json:"phase_seconds,omitempty"`
+	QoS          qosResponse        `json:"qos"`
 }
 
 type engineStatsResponse struct {
@@ -545,6 +651,7 @@ type engineStatsResponse struct {
 	Admitted          uint64 `json:"admitted"`
 	RejectedQueueFull uint64 `json:"rejected_queue_full"`
 	RejectedOverCost  uint64 `json:"rejected_over_cost"`
+	RejectedOverQuota uint64 `json:"rejected_over_quota"`
 	RejectedDraining  uint64 `json:"rejected_draining"`
 	CanceledWaiting   uint64 `json:"canceled_waiting"`
 	Repriced          uint64 `json:"repriced"`
@@ -611,6 +718,7 @@ func (s *server) engineResponse() engineStatsResponse {
 		Admitted:          st.Admitted,
 		RejectedQueueFull: st.RejectedQueueFull,
 		RejectedOverCost:  st.RejectedOverCost,
+		RejectedOverQuota: st.RejectedOverQuota,
 		RejectedDraining:  st.RejectedDraining,
 		CanceledWaiting:   st.CanceledWaiting,
 		Repriced:          st.Repriced,
@@ -619,13 +727,18 @@ func (s *server) engineResponse() engineStatsResponse {
 	}
 }
 
-// session resolves the graph name of a request ("" = default).
-func (s *server) session(name string) (string, *netrel.Session, error) {
-	if name == "" {
-		name = defaultGraphName
+// queryContext derives a query's solve context from the request: the
+// telemetry trace attached, the tenant tag set to the graph name (what the
+// engine's weighted-fair admission and quotas schedule by), and the
+// -querytimeout deadline applied when configured. The returned cancel must
+// be called when the request finishes.
+func (s *server) queryContext(r *http.Request, graph string, tr *telemetry.Trace) (context.Context, context.CancelFunc) {
+	ctx := telemetry.NewContext(r.Context(), tr)
+	ctx = netrel.WithTenant(ctx, graph)
+	if s.def.queryTimeout > 0 {
+		return context.WithTimeout(ctx, s.def.queryTimeout)
 	}
-	sess, err := s.reg.Session(name)
-	return name, sess, err
+	return ctx, func() {}
 }
 
 func (s *server) options(samples, width int, seed uint64, workers int, estimator string) ([]netrel.Option, error) {
@@ -823,20 +936,37 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var totalSamples, totalEarlyStops uint64
 	var totalModes modesResponse
 	for _, info := range s.reg.List() {
-		sess, err := s.reg.Session(info.Name)
-		if err != nil {
-			continue // evicted between List and Session
+		// The handle's session is read without a registry touch, so stats
+		// scrapes never perturb last-query recency or trigger pressure
+		// eviction.
+		h := s.handleFor(info.Name)
+		if h == nil {
+			continue // evicted between List and the handle fetch
 		}
+		sess := h.sess
+		ts := s.eng.TenantStats(info.Name)
 		g := graphStatsResponse{
-			Source:       info.Source,
-			Vertices:     info.Vertices,
-			Edges:        info.Edges,
-			IndexBuilt:   info.IndexBuilt,
-			Cache:        toCacheResponse(sess.CacheStats()),
-			Planner:      toPlannerResponse(sess.PlanStats()),
-			PhaseSeconds: s.phaseSeconds(info.Name),
+			Source:        info.Source,
+			Vertices:      info.Vertices,
+			Edges:         info.Edges,
+			IndexBuilt:    info.IndexBuilt,
+			RetainedBytes: info.RetainedBytes,
+			IndexBuilds:   sess.IndexBuilds(),
+			Cache:         toCacheResponse(sess.CacheStats()),
+			Planner:       toPlannerResponse(sess.PlanStats()),
+			PhaseSeconds:  s.phaseSeconds(info.Name),
+			QoS: qosResponse{
+				Weight:          ts.Weight,
+				QuotaRate:       ts.QuotaRate,
+				QuotaBurst:      ts.QuotaBurst,
+				QuotaTokens:     ts.QuotaTokens,
+				QuotaRejected:   ts.RejectedOverQuota,
+				Queued:          ts.Queued,
+				AdmissionWaits:  ts.Waited,
+				AdmissionWaitMS: float64(ts.WaitedNanos) / 1e6,
+			},
 		}
-		if c := s.countersFor(info.Name); c != nil {
+		if c := h.c; c != nil {
 			g.Queries = c.queries.Load()
 			g.BatchRequests = c.batches.Load()
 			g.BatchedQueries = c.batchQs.Load()
@@ -861,8 +991,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		graphs[info.Name] = g
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"uptime_ms":       float64(time.Since(s.started)) / float64(time.Millisecond),
-		"engine":          s.engineResponse(),
+		"uptime_ms": float64(time.Since(s.started)) / float64(time.Millisecond),
+		"engine":    s.engineResponse(),
+		"memory": map[string]any{
+			"retained_bytes": s.reg.RetainedBytes(),
+			"max_bytes":      s.def.maxBytes,
+			"evictions":      s.reg.MemoryEvictions(),
+		},
 		"graphs":          graphs,
 		"queries":         totalQueries,
 		"batch_requests":  totalBatches,
@@ -876,18 +1011,20 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
 	type graphInfo struct {
-		Name       string `json:"name"`
-		Source     string `json:"source"`
-		Vertices   int    `json:"vertices"`
-		Edges      int    `json:"edges"`
-		IndexBuilt bool   `json:"index_built"`
+		Name          string `json:"name"`
+		Source        string `json:"source"`
+		Vertices      int    `json:"vertices"`
+		Edges         int    `json:"edges"`
+		IndexBuilt    bool   `json:"index_built"`
+		RetainedBytes int64  `json:"retained_bytes"`
 	}
 	infos := s.reg.List()
 	out := make([]graphInfo, len(infos))
 	for i, info := range infos {
 		out[i] = graphInfo{
 			Name: info.Name, Source: info.Source,
-			Vertices: info.Vertices, Edges: info.Edges, IndexBuilt: info.IndexBuilt,
+			Vertices: info.Vertices, Edges: info.Edges,
+			IndexBuilt: info.IndexBuilt, RetainedBytes: info.RetainedBytes,
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"graphs": out})
@@ -903,6 +1040,17 @@ func (s *server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Name == "" {
 		writeError(w, http.StatusBadRequest, errors.New("graph name is required"))
+		return
+	}
+	if req.Weight < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("weight must be non-negative, got %d", req.Weight))
+		return
+	}
+	if req.QuotaRate < 0 || req.QuotaBurst < 0 ||
+		math.IsNaN(req.QuotaRate) || math.IsNaN(req.QuotaBurst) ||
+		math.IsInf(req.QuotaRate, 0) || math.IsInf(req.QuotaBurst, 0) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("quota_rate and quota_burst must be finite and non-negative, got %v and %v", req.QuotaRate, req.QuotaBurst))
 		return
 	}
 	var (
@@ -931,7 +1079,11 @@ func (s *server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.register(req.Name, source, g); err != nil {
+	if err := s.register(req.Name, source, g, graphQoS{
+		weight:     req.Weight,
+		quotaRate:  req.QuotaRate,
+		quotaBurst: req.QuotaBurst,
+	}); err != nil {
 		switch {
 		case errors.Is(err, errGraphLimit):
 			writeError(w, http.StatusTooManyRequests, err)
@@ -959,9 +1111,12 @@ func (s *server) handleEvictGraph(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	delete(s.counters, name)
+	delete(s.graphs, name)
 	s.mu.Unlock()
 	s.pruneGraphMetrics(name)
+	// Forget the tenant's weight, quota, and counters: a re-registered
+	// name starts fresh, like its metric series.
+	s.eng.RemoveTenant(name)
 	writeJSON(w, http.StatusOK, map[string]any{"evicted": name})
 }
 
@@ -973,11 +1128,12 @@ func (s *server) handleReliability(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	name, sess, err := s.session(req.Graph)
+	h, err := s.graph(req.Graph)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
+	name, sess := h.name, h.sess
 	mode, err := parseMode(req.Mode, false)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -1006,7 +1162,7 @@ func (s *server) handleReliability(w http.ResponseWriter, r *http.Request) {
 		opts = append(opts, netrel.WithTrace())
 	}
 	spec := netrel.QuerySpec{Mode: mode, Terminals: req.Terminals, Evidence: toEvidence(req.Evidence)}
-	c := s.countersFor(name)
+	c := h.c
 	// A streaming request commits to SSE before solving: every round
 	// boundary emits a "progress" event, and the terminal "result" (or
 	// "error") event carries what the JSON response would have been. The
@@ -1026,7 +1182,8 @@ func (s *server) handleReliability(w http.ResponseWriter, r *http.Request) {
 	// additionally echoes the breakdown on the result. Observation-only:
 	// results are bit-identical either way.
 	tr := telemetry.New()
-	ctx := telemetry.NewContext(r.Context(), tr)
+	ctx, cancel := s.queryContext(r, name, tr)
+	defer cancel()
 	start := time.Now()
 	var res *netrel.Result
 	if req.Exact {
@@ -1039,6 +1196,7 @@ func (s *server) handleReliability(w http.ResponseWriter, r *http.Request) {
 		if c != nil {
 			c.failures.Add(1)
 		}
+		s.logTimeout(ctx, name, mode.String(), tr, elapsed, err)
 		if sse != nil {
 			// The 200 and the event stream are already on the wire; the error
 			// becomes the stream's terminal event instead of a status.
@@ -1052,7 +1210,7 @@ func (s *server) handleReliability(w http.ResponseWriter, r *http.Request) {
 		c.queries.Add(1)
 		c.countMode(mode, 1)
 	}
-	s.recordQuery(name, mode.String(), tr, elapsed)
+	s.recordQuery(h, mode.String(), tr, elapsed)
 	s.logSlow(ctx, name, mode.String(), tr, elapsed)
 	body := map[string]any{
 		"graph":  name,
@@ -1084,11 +1242,12 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("batch of %d queries exceeds the daemon cap %d", len(req.Queries), s.def.maxQueries))
 		return
 	}
-	name, sess, err := s.session(req.Graph)
+	h, err := s.graph(req.Graph)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
+	name, sess := h.name, h.sess
 	opts, err := s.options(req.Samples, req.Width, req.Seed, req.Workers, req.Estimator)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -1117,7 +1276,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		queries[i] = netrel.Query{Mode: mode, Terminals: q.Terminals, Evidence: toEvidence(q.Evidence)}
 		modes[i] = mode
 	}
-	c := s.countersFor(name)
+	c := h.c
 	// Streaming batches emit one "progress" event per query per round
 	// boundary (fan-in-shared subproblems tighten several queries at once),
 	// then the terminal "result" event with the normal batch body.
@@ -1134,7 +1293,8 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	before := sess.CacheStats()
 	planBefore := sess.PlanStats()
 	tr := telemetry.New()
-	ctx := telemetry.NewContext(r.Context(), tr)
+	ctx, cancel := s.queryContext(r, name, tr)
+	defer cancel()
 	start := time.Now()
 	// Admission happens inside BatchReliabilityContext in two phases: the
 	// batch's planning cost (one unit per distinct terminal set) is checked
@@ -1148,6 +1308,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if c != nil {
 			c.failures.Add(1)
 		}
+		s.logTimeout(ctx, name, "batch", tr, elapsed, err)
 		if sse != nil {
 			sse.event("error", map[string]string{"error": err.Error()})
 			return
@@ -1164,7 +1325,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			c.countMode(m, 1)
 		}
 	}
-	s.recordQuery(name, "batch", tr, elapsed)
+	s.recordQuery(h, "batch", tr, elapsed)
 	s.logSlow(ctx, name, "batch", tr, elapsed)
 	out := make([]queryResponse, len(results))
 	for i, r := range results {
@@ -1208,11 +1369,12 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	name, sess, err := s.session(req.Graph)
+	h, err := s.graph(req.Graph)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
+	name, sess := h.name, h.sess
 	if err := validateSpec(sess.Graph(), netrel.ModeTopK, req.Terminals, req.Evidence); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -1240,9 +1402,10 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		Evidence:  toEvidence(req.Evidence),
 		K:         req.K,
 	}
-	c := s.countersFor(name)
+	c := h.c
 	tr := telemetry.New()
-	ctx := telemetry.NewContext(r.Context(), tr)
+	ctx, cancel := s.queryContext(r, name, tr)
+	defer cancel()
 	start := time.Now()
 	entries, err := sess.TopKReliableContext(ctx, spec, opts...)
 	elapsed := time.Since(start)
@@ -1250,6 +1413,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		if c != nil {
 			c.failures.Add(1)
 		}
+		s.logTimeout(ctx, name, "topk", tr, elapsed, err)
 		writeError(w, statusFor(err), err)
 		return
 	}
@@ -1257,7 +1421,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		c.queries.Add(1)
 		c.countMode(netrel.ModeTopK, 1)
 	}
-	s.recordQuery(name, "topk", tr, elapsed)
+	s.recordQuery(h, "topk", tr, elapsed)
 	s.logSlow(ctx, name, "topk", tr, elapsed)
 	type topkEntry struct {
 		Vertex int           `json:"vertex"`
@@ -1304,18 +1468,23 @@ func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) boo
 
 // statusFor maps computation errors to HTTP statuses: anything the caller
 // can fix (bad terminals, bad options, an over-cost request, an exact
-// request over too small a width) is a 400; saturation and shutdown are
-// 503s (retryable); client disconnects surface as 499-style 503s; genuine
-// solver failures are 500s.
+// request over too small a width) is a 400; a tenant over its cost quota
+// is a 429 (retry after the bucket refills); saturation and shutdown are
+// 503s (retryable); a -querytimeout deadline is a 504; client disconnects
+// surface as 499-style 503s; genuine solver failures are 500s.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, netrel.ErrTerminalsRequired), errors.Is(err, netrel.ErrNotExact):
 		return http.StatusBadRequest
 	case errors.Is(err, netrel.ErrOverCost):
 		return http.StatusBadRequest
+	case errors.Is(err, netrel.ErrOverQuota):
+		return http.StatusTooManyRequests
 	case errors.Is(err, netrel.ErrQueueFull), errors.Is(err, netrel.ErrEngineDraining):
 		return http.StatusServiceUnavailable
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
 		return http.StatusServiceUnavailable
 	}
 	msg := err.Error()

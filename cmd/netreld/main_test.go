@@ -42,7 +42,7 @@ func newTestServer(t *testing.T, eng *netrel.Engine, def defaults) (*server, *ht
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := srv.register(defaultGraphName, "test", quickstartGraph(t)); err != nil {
+	if err := srv.register(defaultGraphName, "test", quickstartGraph(t), graphQoS{}); err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(srv.handler())
@@ -683,7 +683,7 @@ func TestExactTooNarrowIsClientError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := srv.register(defaultGraphName, "grid", g); err != nil {
+	if err := srv.register(defaultGraphName, "grid", g, graphQoS{}); err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(srv.handler())
@@ -766,7 +766,7 @@ func gridServer(t *testing.T) (*server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := srv.register(defaultGraphName, "grid", gridGraph(t)); err != nil {
+	if err := srv.register(defaultGraphName, "grid", gridGraph(t), graphQoS{}); err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(srv.handler())

@@ -1,0 +1,300 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"netrel"
+	"netrel/internal/telemetry"
+)
+
+// metricValue returns the value of the first exposition line starting with
+// prefix (metric name plus sorted label set), or -1 when absent.
+func metricValue(t *testing.T, body, prefix string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			fields := strings.Fields(line)
+			v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+			if err != nil {
+				t.Fatalf("unparseable sample %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	return -1
+}
+
+// TestQueryTimeoutMapsTo504 covers -querytimeout: an expired deadline maps
+// to 504 Gateway Timeout, the timed-out request caches nothing, and a
+// fresh request under a generous deadline is bit-identical to the
+// library's answer (the wrapped context changes scheduling, never
+// arithmetic).
+func TestQueryTimeoutMapsTo504(t *testing.T) {
+	def := testDefaults()
+	def.queryTimeout = time.Nanosecond // expired before the solve starts
+	srv, ts := newTestServer(t, nil, def)
+
+	var errResp struct {
+		Error string `json:"error"`
+	}
+	code := postJSON(t, ts.URL+"/v1/reliability",
+		`{"terminals":[0,2],"samples":5000,"seed":7}`, &errResp)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("timed-out query status %d, want 504", code)
+	}
+	if !strings.Contains(errResp.Error, "deadline") {
+		t.Fatalf("504 body does not mention the deadline: %q", errResp.Error)
+	}
+	if got := defaultSession(t, srv).CacheStats().Entries; got != 0 {
+		t.Fatalf("timed-out request cached %d entries", got)
+	}
+	if h := srv.handleFor(defaultGraphName); h.c.failures.Load() != 1 {
+		t.Fatalf("failures = %d, want 1", h.c.failures.Load())
+	}
+
+	// Same request on a daemon whose deadline is never hit: identical to
+	// the library, so the WithTimeout wrapper is observation-only. (A
+	// separate server avoids mutating def under a running handler.)
+	def2 := testDefaults()
+	def2.queryTimeout = time.Hour
+	srv2, ts2 := newTestServer(t, nil, def2)
+	var got struct {
+		Result queryResponse `json:"result"`
+	}
+	if code := postJSON(t, ts2.URL+"/v1/reliability",
+		`{"terminals":[0,2],"samples":5000,"seed":7}`, &got); code != http.StatusOK {
+		t.Fatalf("retry status %d", code)
+	}
+	want, err := netrel.NewSession(defaultSession(t, srv2).Graph()).Reliability([]int{0, 2},
+		netrel.WithSamples(5000), netrel.WithSeed(7), netrel.WithMaxWidth(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Result.Reliability != want.Reliability {
+		t.Fatalf("deadline-wrapped retry diverged: daemon %v vs library %v",
+			got.Result.Reliability, want.Reliability)
+	}
+}
+
+// TestQuotaRejection429 registers a graph with a starved cost quota and
+// asserts the full rejection surface: 429 with a body naming the tenant
+// and its limits, per-tenant counters in /v1/stats, the engine totals, and
+// the netrel_quota_rejected_total series — while other graphs stay
+// unaffected.
+func TestQuotaRejection429(t *testing.T) {
+	_, ts := testServer(t)
+
+	if code := postJSON(t, ts.URL+"/v1/graphs",
+		`{"name":"limited","dataset":"Karate","scale":"small","seed":1,"weight":2,"quota_rate":0.000001,"quota_burst":5}`,
+		nil); code != http.StatusCreated {
+		t.Fatalf("register status %d", code)
+	}
+
+	var errResp struct {
+		Error string `json:"error"`
+	}
+	code := postJSON(t, ts.URL+"/v1/reliability",
+		`{"graph":"limited","terminals":[0,33],"samples":1000}`, &errResp)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota query status %d, want 429", code)
+	}
+	for _, want := range []string{`"limited"`, "burst 5", "quota"} {
+		if !strings.Contains(errResp.Error, want) {
+			t.Fatalf("429 body missing %q: %q", want, errResp.Error)
+		}
+	}
+
+	// The default graph shares the engine but not the bucket.
+	if code := postJSON(t, ts.URL+"/v1/reliability",
+		`{"terminals":[0,2],"samples":500,"seed":3}`, nil); code != http.StatusOK {
+		t.Fatalf("default-graph query status %d", code)
+	}
+
+	var st struct {
+		Graphs map[string]struct {
+			RetainedBytes int64       `json:"retained_bytes"`
+			QoS           qosResponse `json:"qos"`
+		} `json:"graphs"`
+		Engine struct {
+			RejectedOverQuota uint64 `json:"rejected_over_quota"`
+		} `json:"engine"`
+		Memory struct {
+			RetainedBytes int64 `json:"retained_bytes"`
+		} `json:"memory"`
+	}
+	_, statsBody := getBody(t, ts.URL+"/v1/stats")
+	if err := json.Unmarshal([]byte(statsBody), &st); err != nil {
+		t.Fatal(err)
+	}
+	lim := st.Graphs["limited"]
+	if lim.QoS.QuotaRejected != 1 || lim.QoS.Weight != 2 ||
+		lim.QoS.QuotaRate != 0.000001 || lim.QoS.QuotaBurst != 5 {
+		t.Fatalf("limited qos = %+v", lim.QoS)
+	}
+	if st.Engine.RejectedOverQuota != 1 {
+		t.Fatalf("engine rejected_over_quota = %d", st.Engine.RejectedOverQuota)
+	}
+	if def := st.Graphs[defaultGraphName]; def.QoS.QuotaRejected != 0 || def.RetainedBytes <= 0 {
+		t.Fatalf("default graph stats = %+v", def)
+	}
+	if st.Memory.RetainedBytes <= 0 {
+		t.Fatalf("memory.retained_bytes = %d", st.Memory.RetainedBytes)
+	}
+
+	_, body := getBody(t, ts.URL+"/metrics")
+	checkPrometheusText(t, body)
+	if v := metricValue(t, body, `netrel_quota_rejected_total{graph="limited"}`); v != 1 {
+		t.Fatalf(`netrel_quota_rejected_total{graph="limited"} = %v, want 1`, v)
+	}
+	if v := metricValue(t, body, `netrel_graph_retained_bytes{graph="default"}`); v <= 0 {
+		t.Fatalf(`netrel_graph_retained_bytes{graph="default"} = %v, want > 0`, v)
+	}
+	if v := metricValue(t, body, `netrel_engine_rejected_total{reason="over_quota"}`); v != 1 {
+		t.Fatalf(`netrel_engine_rejected_total{reason="over_quota"} = %v, want 1`, v)
+	}
+
+	// QoS fields are validated at registration.
+	if code := postJSON(t, ts.URL+"/v1/graphs",
+		`{"name":"badqos","dataset":"Karate","scale":"small","weight":-1}`, nil); code != http.StatusBadRequest {
+		t.Fatalf("negative weight accepted: status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/graphs",
+		`{"name":"badqos","dataset":"Karate","scale":"small","quota_rate":-3}`, nil); code != http.StatusBadRequest {
+		t.Fatalf("negative quota rate accepted: status %d", code)
+	}
+}
+
+// TestEvictReregisterChurn exercises evict/re-register churn two ways:
+// a deterministic generation-isolation check — a request that started on
+// the pre-eviction handle and finishes after the name is re-registered
+// must not write into the new generation's counters or metric series —
+// and a concurrent churn loop (queries racing evictions and
+// re-registrations) whose scrape must stay well-formed. Runs under -race.
+func TestEvictReregisterChurn(t *testing.T) {
+	srv, ts := testServer(t)
+	g := quickstartGraph(t)
+	var tsv strings.Builder
+	if err := g.Write(&tsv); err != nil {
+		t.Fatal(err)
+	}
+	registerBody := fmt.Sprintf(`{"name":"churn","tsv":%q}`, tsv.String())
+	evict := func() int {
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/graphs/churn", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := postJSON(t, ts.URL+"/v1/graphs", registerBody, nil); code != http.StatusCreated {
+		t.Fatalf("register status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/reliability",
+		`{"graph":"churn","terminals":[0,2],"samples":300,"seed":1}`, nil); code != http.StatusOK {
+		t.Fatalf("query status %d", code)
+	}
+
+	// Capture the first generation's handle the way a request in flight
+	// across the eviction would, then churn the name.
+	old := srv.handleFor("churn")
+	if old == nil || old.c.queries.Load() != 1 {
+		t.Fatalf("first generation handle = %+v", old)
+	}
+	if code := evict(); code != http.StatusOK {
+		t.Fatalf("evict status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/graphs", registerBody, nil); code != http.StatusCreated {
+		t.Fatalf("re-register status %d", code)
+	}
+
+	// The old request finishes now: the handler records into its captured
+	// handle. Everything lands on the orphaned first generation.
+	old.c.queries.Add(1)
+	old.c.countMode(netrel.ModeTerminalSet, 1)
+	tr := telemetry.New()
+	tr.Add(telemetry.PhaseAdmission, time.Millisecond)
+	srv.recordQuery(old, "terminal-set", tr, time.Millisecond)
+
+	if h := srv.handleFor("churn"); h == old {
+		t.Fatal("re-register did not mint a new generation")
+	} else if h.c.queries.Load() != 0 {
+		t.Fatalf("old generation's writes polluted the new counters: %d", h.c.queries.Load())
+	}
+	_, body := getBody(t, ts.URL+"/metrics")
+	checkPrometheusText(t, body)
+	if v := metricValue(t, body, `netrel_queries_total{graph="churn",mode="terminal-set"}`); v != 0 {
+		t.Fatalf("new generation's series shows the old generation's queries: %v", v)
+	}
+	var st struct {
+		Graphs map[string]struct {
+			Queries uint64 `json:"queries"`
+		} `json:"graphs"`
+	}
+	_, statsBody := getBody(t, ts.URL+"/v1/stats")
+	if err := json.Unmarshal([]byte(statsBody), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Graphs["churn"].Queries != 0 {
+		t.Fatalf("stats count the old generation's queries: %d", st.Graphs["churn"].Queries)
+	}
+	// And the new generation counts its own traffic from zero.
+	if code := postJSON(t, ts.URL+"/v1/reliability",
+		`{"graph":"churn","terminals":[0,2],"samples":300,"seed":1}`, nil); code != http.StatusOK {
+		t.Fatalf("post-churn query status %d", code)
+	}
+	_, body = getBody(t, ts.URL+"/metrics")
+	if v := metricValue(t, body, `netrel_queries_total{graph="churn",mode="terminal-set"}`); v != 1 {
+		t.Fatalf("post-churn series = %v, want 1", v)
+	}
+
+	// Concurrent churn: queries race evictions and re-registrations; every
+	// outcome must be one of the honest statuses and the final scrape must
+	// stay structurally valid (no duplicate or half-pruned series).
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				code := postJSON(t, ts.URL+"/v1/reliability",
+					fmt.Sprintf(`{"graph":"churn","terminals":[0,2],"samples":200,"seed":%d}`, n%3), nil)
+				switch code {
+				case http.StatusOK, http.StatusNotFound, http.StatusServiceUnavailable:
+				default:
+					t.Errorf("churn query status %d", code)
+					return
+				}
+			}
+		}(i)
+	}
+	for round := 0; round < 5; round++ {
+		if code := evict(); code != http.StatusOK {
+			t.Fatalf("churn evict status %d", code)
+		}
+		if code := postJSON(t, ts.URL+"/v1/graphs", registerBody, nil); code != http.StatusCreated {
+			t.Fatalf("churn re-register status %d", code)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	_, body = getBody(t, ts.URL+"/metrics")
+	checkPrometheusText(t, body)
+}

@@ -17,6 +17,7 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"errors"
 	"log/slog"
 	"net/http"
 	"strconv"
@@ -34,11 +35,16 @@ import (
 var queryModeLabels = []string{"terminal-set", "conditional", "topk", "batch"}
 
 // graphMetrics holds one graph's pre-created instruments: its latency
-// histograms by mode label and the phase-time accumulators behind its
-// netrel_phase_seconds_total series.
+// histograms by mode label, its admission-wait histogram, and the
+// phase-time accumulators behind its netrel_phase_seconds_total series.
+// One graphMetrics belongs to one registration generation — requests
+// carry it in their graphHandle, so a request that outlives its graph's
+// eviction records into these (pruned) instruments rather than a
+// re-registered generation's fresh series.
 type graphMetrics struct {
-	latency    map[string]*telemetry.Histogram
-	phaseNanos [telemetry.NumPhases]atomic.Int64
+	latency       map[string]*telemetry.Histogram
+	admissionWait *telemetry.Histogram
+	phaseNanos    [telemetry.NumPhases]atomic.Int64
 }
 
 // serverMetrics owns the registry and the per-graph instrument tables.
@@ -90,6 +96,8 @@ func (s *server) initMetrics() {
 		func() float64 { return float64(eng.Stats().RejectedQueueFull) })
 	reg.CounterFunc("netrel_engine_rejected_total", rejected, telemetry.Labels{"reason": "over_cost"},
 		func() float64 { return float64(eng.Stats().RejectedOverCost) })
+	reg.CounterFunc("netrel_engine_rejected_total", rejected, telemetry.Labels{"reason": "over_quota"},
+		func() float64 { return float64(eng.Stats().RejectedOverQuota) })
 	reg.CounterFunc("netrel_engine_rejected_total", rejected, telemetry.Labels{"reason": "draining"},
 		func() float64 { return float64(eng.Stats().RejectedDraining) })
 	reg.CounterFunc("netrel_engine_canceled_waiting_total",
@@ -107,13 +115,15 @@ func (s *server) initMetrics() {
 }
 
 // registerGraphMetrics creates a freshly registered graph's series: funcs
-// over its request counters, cache, and batch planner, plus the latency
-// histograms and phase-time counters the request path observes into. Safe to
-// call again for a re-registered name — registration is idempotent, and
+// over its request counters, cache, batch planner, quota, and retained
+// memory, plus the latency histograms and phase-time counters the request
+// path observes into (returned for the graph's handle). Safe to call
+// again for a re-registered name — registration is idempotent, and
 // pruneGraphMetrics cleared the old series on evict.
-func (s *server) registerGraphMetrics(name string, sess *netrel.Session, c *graphCounters) {
+func (s *server) registerGraphMetrics(name string, sess *netrel.Session, c *graphCounters) *graphMetrics {
 	m := s.metrics
 	reg := m.reg
+	eng := s.eng
 	gl := telemetry.Labels{"graph": name}
 	counterFn := func(metric, help string, load func() uint64) {
 		reg.CounterFunc(metric, help, gl, func() float64 { return float64(load()) })
@@ -152,6 +162,12 @@ func (s *server) registerGraphMetrics(name string, sess *netrel.Session, c *grap
 	counterFn("netrel_early_stops_total",
 		"Subproblems halted by a target width before exhausting their sample schedule.",
 		c.earlyStops.Load)
+	counterFn("netrel_quota_rejected_total",
+		"Requests rejected because the graph's cost-quota bucket could not cover them.",
+		func() uint64 { return eng.TenantStats(name).RejectedOverQuota })
+	reg.GaugeFunc("netrel_graph_retained_bytes",
+		"Heap retained by the graph's 2ECC index and result-cache entries.", gl,
+		func() float64 { return float64(sess.RetainedBytes()) })
 
 	gm := &graphMetrics{latency: make(map[string]*telemetry.Histogram, len(queryModeLabels))}
 	for _, mode := range queryModeLabels {
@@ -159,6 +175,11 @@ func (s *server) registerGraphMetrics(name string, sess *netrel.Session, c *grap
 			"Wall-clock of answered requests, by mode (batches observed once as a unit).",
 			nil, telemetry.Labels{"graph": name, "mode": mode})
 	}
+	// The per-graph wait series shares its family with the global
+	// unlabeled histogram, so one scrape shows both the fleet-wide and the
+	// per-tenant admission latency under saturation.
+	gm.admissionWait = reg.Histogram("netrel_admission_wait_seconds",
+		"Engine admission queue wait of answered requests that had to queue.", nil, gl)
 	for p := telemetry.Phase(0); p < telemetry.NumPhases; p++ {
 		p := p
 		reg.CounterFunc("netrel_phase_seconds_total",
@@ -169,6 +190,7 @@ func (s *server) registerGraphMetrics(name string, sess *netrel.Session, c *grap
 	m.mu.Lock()
 	m.graphs[name] = gm
 	m.mu.Unlock()
+	return gm
 }
 
 // pruneGraphMetrics drops every series of an evicted graph.
@@ -183,20 +205,22 @@ func (s *server) pruneGraphMetrics(name string) {
 // recordQuery folds one answered request into its graph's series: a latency
 // observation under the mode label, the request trace's per-phase
 // wall-clock, its sampling effort (draws made, subproblems early-stopped),
-// and — when the request queued for admission — its queue wait.
-func (s *server) recordQuery(name, mode string, tr *telemetry.Trace, elapsed time.Duration) {
+// and — when the request queued for admission — its queue wait. The
+// instruments come from the request's graphHandle, captured at request
+// start: a name that was evicted and re-registered mid-request resolves to
+// the old generation's (pruned, orphaned) instruments, never the new
+// generation's live series.
+func (s *server) recordQuery(h *graphHandle, mode string, tr *telemetry.Trace, elapsed time.Duration) {
 	m := s.metrics
-	m.mu.Lock()
-	gm := m.graphs[name]
-	m.mu.Unlock()
-	if gm == nil { // evicted while the request was in flight
+	gm := h.gm
+	if gm == nil {
 		return
 	}
-	if h := gm.latency[mode]; h != nil {
-		h.Observe(elapsed.Seconds())
+	if lat := gm.latency[mode]; lat != nil {
+		lat.Observe(elapsed.Seconds())
 	}
 	snap := tr.Snapshot()
-	if c := s.countersFor(name); c != nil {
+	if c := h.c; c != nil {
 		if n := snap.Annots[telemetry.AnnotSamplesDrawn]; n > 0 {
 			c.samplesDrawn.Add(uint64(n))
 		}
@@ -210,7 +234,11 @@ func (s *server) recordQuery(name, mode string, tr *telemetry.Trace, elapsed tim
 		}
 	}
 	if snap.Counts[telemetry.PhaseAdmission] > 0 {
-		m.admissionWait.Observe(float64(snap.Nanos[telemetry.PhaseAdmission]) / 1e9)
+		wait := float64(snap.Nanos[telemetry.PhaseAdmission]) / 1e9
+		m.admissionWait.Observe(wait)
+		if gm.admissionWait != nil {
+			gm.admissionWait.Observe(wait)
+		}
 	}
 }
 
@@ -336,6 +364,26 @@ func (s *server) logSlow(ctx context.Context, graph, mode string, tr *telemetry.
 	if s.def.slowQuery <= 0 || elapsed < s.def.slowQuery {
 		return
 	}
+	s.logger.LogAttrs(ctx, slog.LevelWarn, "slow query",
+		tracedAttrs(ctx, graph, mode, tr, elapsed)...)
+}
+
+// logTimeout emits a warn-level line when a request died on the
+// -querytimeout deadline, with the phase breakdown showing where the
+// budget went. Client disconnects (context.Canceled) and other failures
+// are not deadline expirations and stay out of this log.
+func (s *server) logTimeout(ctx context.Context, graph, mode string, tr *telemetry.Trace, elapsed time.Duration, err error) {
+	if s.def.queryTimeout <= 0 || !errors.Is(err, context.DeadlineExceeded) {
+		return
+	}
+	attrs := append(tracedAttrs(ctx, graph, mode, tr, elapsed),
+		slog.String("timeout", s.def.queryTimeout.String()))
+	s.logger.LogAttrs(ctx, slog.LevelWarn, "query timeout", attrs...)
+}
+
+// tracedAttrs is the shared shape of per-request warning logs: identity,
+// wall-clock, and the trace's phase breakdown.
+func tracedAttrs(ctx context.Context, graph, mode string, tr *telemetry.Trace, elapsed time.Duration) []slog.Attr {
 	attrs := []slog.Attr{
 		slog.String("request_id", requestIDFrom(ctx)),
 		slog.String("graph", graph),
@@ -348,7 +396,7 @@ func (s *server) logSlow(ctx context.Context, graph, mode string, tr *telemetry.
 			attrs = append(attrs, slog.Float64(p.String()+"_ms", float64(snap.Nanos[p])/1e6))
 		}
 	}
-	s.logger.LogAttrs(ctx, slog.LevelWarn, "slow query", attrs...)
+	return attrs
 }
 
 // phaseSpanJSON and phasesJSON are the wire shape of a traced request's

@@ -363,7 +363,7 @@ func TestStructuredAndSlowQueryLogs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := srv.register(defaultGraphName, "test", quickstartGraph(t)); err != nil {
+	if err := srv.register(defaultGraphName, "test", quickstartGraph(t), graphQoS{}); err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(srv.handler())

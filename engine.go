@@ -71,13 +71,15 @@ type EngineStats struct {
 	InFlight, Queued int
 	// MaxInFlight (0 = unlimited) and QueueCapacity echo the configuration.
 	MaxInFlight, QueueCapacity int
-	// Admitted, RejectedQueueFull, RejectedOverCost, RejectedDraining and
-	// CanceledWaiting count admission outcomes since the engine was
-	// created. RejectedOverCost includes both admission phases: requests
-	// over the cap up front and batches repriced over it after planning.
+	// Admitted, RejectedQueueFull, RejectedOverCost, RejectedOverQuota,
+	// RejectedDraining and CanceledWaiting count admission outcomes since
+	// the engine was created. RejectedOverCost and RejectedOverQuota
+	// include both admission phases: requests over the cap (or quota) up
+	// front and batches repriced over it after planning.
 	Admitted          uint64
 	RejectedQueueFull uint64
 	RejectedOverCost  uint64
+	RejectedOverQuota uint64
 	RejectedDraining  uint64
 	CanceledWaiting   uint64
 	// Repriced counts second-phase admission checks that passed: batches
@@ -91,13 +93,47 @@ type EngineStats struct {
 }
 
 // Admission errors surfaced to servers: ErrQueueFull and ErrEngineDraining
-// are retryable (503), ErrOverCost is a client error. Errors returned by
-// queries wrap these; test with errors.Is.
+// are retryable (503), ErrOverQuota is per-tenant pacing (429), ErrOverCost
+// is a client error. Errors returned by queries wrap these; test with
+// errors.Is.
 var (
 	ErrQueueFull      = engine.ErrQueueFull
 	ErrOverCost       = engine.ErrOverCost
+	ErrOverQuota      = engine.ErrOverQuota
 	ErrEngineDraining = engine.ErrDraining
 )
+
+// WithTenant tags ctx with the tenant key the engine's weighted-fair
+// admission schedules by — netreld uses the graph name. Untagged requests
+// share a single default tenant.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	return engine.WithTenant(ctx, tenant)
+}
+
+// TenantFromContext returns ctx's tenant tag ("" when untagged).
+func TenantFromContext(ctx context.Context) string {
+	return engine.TenantFromContext(ctx)
+}
+
+// TenantStats snapshots one tenant's scheduling weight, cost quota, and
+// admission counters.
+type TenantStats struct {
+	// Tenant is the tenant key; Weight its share of the token-grant stream
+	// relative to other tenants with queued requests.
+	Tenant string
+	Weight int
+	// Queued is the tenant's requests waiting for admission right now.
+	Queued int
+	// Admitted, Waited, WaitedNanos and RejectedOverQuota count this
+	// tenant's admission outcomes.
+	Admitted          uint64
+	Waited            uint64
+	WaitedNanos       uint64
+	RejectedOverQuota uint64
+	// QuotaRate and QuotaBurst echo the quota configuration (0 = no
+	// quota); QuotaTokens is the bucket's current level.
+	QuotaRate, QuotaBurst, QuotaTokens float64
+}
 
 // NewEngine starts an engine with its own worker pool. Callers that create
 // one should Close it when done; the pool goroutines run until then.
@@ -140,11 +176,51 @@ func (e *Engine) Stats() EngineStats {
 		Admitted:          s.Admitted,
 		RejectedQueueFull: s.RejectedQueueFull,
 		RejectedOverCost:  s.RejectedOverCost,
+		RejectedOverQuota: s.RejectedOverQuota,
 		RejectedDraining:  s.RejectedDraining,
 		CanceledWaiting:   s.CanceledWaiting,
 		Repriced:          s.Repriced,
 		Waited:            s.Waited,
 		WaitedNanos:       s.WaitedNanos,
+	}
+}
+
+// SetTenantWeight sets a tenant's share of the token-grant stream under
+// contention relative to other tenants with queued requests (minimum 1,
+// the default). Safe to call at any time; the next grant uses it.
+func (e *Engine) SetTenantWeight(tenant string, weight int) {
+	e.e.SetTenantWeight(tenant, weight)
+}
+
+// SetTenantQuota configures a tenant's cost quota: a token bucket of up to
+// burst sample-draw-equivalent units, refilled at rate units per second,
+// starting full. Admission debits each request's declared cost (and
+// Reprice the post-planning increase); a request the bucket cannot cover
+// is rejected immediately with ErrOverQuota, never queued. rate ≤ 0
+// removes the quota; burst ≤ 0 selects rate.
+func (e *Engine) SetTenantQuota(tenant string, rate, burst float64) {
+	e.e.SetTenantQuota(tenant, rate, burst)
+}
+
+// RemoveTenant forgets a tenant's weight, quota, and counters, so a later
+// re-registration of the same key starts fresh. Serving layers call it
+// when the tenant (graph) is evicted.
+func (e *Engine) RemoveTenant(tenant string) { e.e.RemoveTenant(tenant) }
+
+// TenantStats snapshots one tenant (zero values for unknown tenants).
+func (e *Engine) TenantStats(tenant string) TenantStats {
+	ts := e.e.TenantStats(tenant)
+	return TenantStats{
+		Tenant:            ts.Tenant,
+		Weight:            ts.Weight,
+		Queued:            ts.Queued,
+		Admitted:          ts.Admitted,
+		Waited:            ts.Waited,
+		WaitedNanos:       ts.WaitedNanos,
+		RejectedOverQuota: ts.RejectedOverQuota,
+		QuotaRate:         ts.QuotaRate,
+		QuotaBurst:        ts.QuotaBurst,
+		QuotaTokens:       ts.QuotaTokens,
 	}
 }
 
@@ -177,13 +253,15 @@ func (e *Engine) admit(ctx context.Context, cost int64) (release func(), err err
 }
 
 // reprice is the second phase of batch admission: re-check an admitted
-// request against the cost cap with its post-planning cost. The nil
-// (standalone) engine accepts everything.
-func (e *Engine) reprice(cost int64) error {
+// request against the cost cap and its tenant's quota with its
+// post-planning cost. admittedCost is what Admit already billed; only the
+// increase is debited from the quota. The nil (standalone) engine accepts
+// everything.
+func (e *Engine) reprice(ctx context.Context, admittedCost, cost int64) error {
 	if e == nil {
 		return nil
 	}
-	return e.e.Reprice(cost)
+	return e.e.Reprice(ctx, admittedCost, cost)
 }
 
 // queryCost is the admission cost of a request in sample-draw-equivalent

@@ -3,6 +3,7 @@ package batch
 import (
 	"container/list"
 	"sync"
+	"unsafe"
 
 	"netrel/internal/core"
 	"netrel/internal/preprocess"
@@ -24,7 +25,18 @@ type Stats struct {
 	// Entries is the current number of cached results; Capacity the
 	// maximum before LRU eviction.
 	Entries, Capacity int
+	// Bytes is the heap retained by the cached entries (see Cache.Bytes).
+	Bytes int64
 }
+
+// entryBytes is the heap cost of one cached result: the entry (key +
+// result value), its list.Element, and an estimate of the map bucket slot
+// (key copy + pointer + bucket overhead ≈ 2× the key). core.Result is a
+// fixed-size value (no slices or maps), so this is a compile-time
+// constant, and Bytes is exact arithmetic, not a heap walk.
+const entryBytes = int64(unsafe.Sizeof(entry{})) +
+	int64(unsafe.Sizeof(list.Element{})) +
+	2*int64(unsafe.Sizeof(Key{})) + 8
 
 // Cache is a thread-safe LRU of solved subproblem results. core.Result
 // values are stored by value and immutable once computed, so a hit can be
@@ -103,5 +115,33 @@ func (c *Cache) Stats() Stats {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Stats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len(), Capacity: c.cap}
+	n := c.ll.Len()
+	return Stats{Hits: c.hits, Misses: c.misses, Entries: n, Capacity: c.cap,
+		Bytes: int64(n) * entryBytes}
+}
+
+// Bytes reports the heap retained by cached entries — per-graph memory
+// accounting for registry pressure eviction. Nil caches retain nothing.
+func (c *Cache) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return int64(c.ll.Len()) * entryBytes
+}
+
+// Clear drops every cached entry, keeping the capacity and the hit/miss
+// counters (the entries are gone, not the cache's history). Concurrent
+// queries observe an empty cache and re-solve — results are bit-identical
+// by construction, since each subproblem's seed derives from its
+// signature.
+func (c *Cache) Clear() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.items)
 }

@@ -311,7 +311,7 @@ func TestRepriceTwoPhase(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Reprice(101); !errors.Is(err, ErrOverCost) {
+	if err := e.Reprice(context.Background(), 10, 101); !errors.Is(err, ErrOverCost) {
 		t.Fatalf("over-cap reprice error = %v, want ErrOverCost", err)
 	}
 	if got := e.Stats().InFlight; got != 1 {
@@ -324,10 +324,10 @@ func TestRepriceTwoPhase(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Reprice(100); err != nil {
+	if err := e.Reprice(context.Background(), 10, 100); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Reprice(5); err != nil {
+	if err := e.Reprice(context.Background(), 100, 5); err != nil {
 		t.Fatal(err)
 	}
 	release()
@@ -339,7 +339,7 @@ func TestRepriceTwoPhase(t *testing.T) {
 	// No cap: everything reprices.
 	free := New(Config{Workers: 1})
 	defer free.Close()
-	if err := free.Reprice(1 << 60); err != nil {
+	if err := free.Reprice(context.Background(), 0, 1<<60); err != nil {
 		t.Fatal(err)
 	}
 }

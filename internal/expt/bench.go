@@ -1,12 +1,15 @@
 package expt
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math"
 	"math/rand/v2"
 	"runtime"
+	"sort"
+	"sync"
 	"time"
 
 	"netrel"
@@ -72,6 +75,15 @@ type BenchReport struct {
 	// draw more.
 	AdaptiveSampleSavings float64 `json:"adaptive_sample_savings"`
 	AdaptiveTargetWidth   float64 `json:"adaptive_target_width"`
+	// QoSWaitP99FIFONs and QoSWaitP99FairNs are a light tenant's p99
+	// admission wait (ns) while another tenant floods a one-token engine:
+	// first sharing the flood's FIFO queue (the pre-fair-share behavior —
+	// the light request waits behind the whole backlog), then as its own
+	// tenant under weighted-fair scheduling (it waits for at most its
+	// round-robin turn). Wall-clock waits on a shared runner are noisy, so
+	// CI asserts presence and positivity, not a ratio.
+	QoSWaitP99FIFONs float64 `json:"qos_wait_p99_fifo_ns"`
+	QoSWaitP99FairNs float64 `json:"qos_wait_p99_fair_ns"`
 	// TelemetryOverhead is traced-ns / untraced-ns on the solo pipeline
 	// workload: the cost of phase-timed tracing relative to running dark.
 	// Tracing is observation-only and its acceptance bar is < 1.03; CI
@@ -455,6 +467,86 @@ func BenchTrajectory(cfg Config) (*BenchReport, error) {
 	if ps.Queries > 0 {
 		report.PlanDedupFraction = 1 - float64(ps.Planned)/float64(ps.Queries)
 	}
+
+	// --- Fair-share admission: light-tenant p99 wait under a flood. ---
+	// One admission token, four flooding clients solving full (cache-less)
+	// queries back to back, and one light client issuing a query at a time.
+	// In the FIFO configuration the light client shares the flood's tenant
+	// queue, so each of its requests waits behind the flood's whole backlog;
+	// in the fair configuration it is its own tenant and weighted round
+	// robin grants it the next token after at most one flood solve. The
+	// admission wait comes from each traced result's "admission" phase span.
+	qosGraph, err := BenchBlockChain(2, 8, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	qosTerms := []int{0, qosGraph.N() - 1}
+	qosOpts := []netrel.Option{
+		netrel.WithSamples(cfg.Samples), netrel.WithMaxWidth(16),
+		netrel.WithoutSampleReduction(), netrel.WithSeed(cfg.Seed),
+	}
+	qosWaitP99 := func(lightTenant string) (time.Duration, error) {
+		eng := netrel.NewEngine(netrel.EngineConfig{MaxInFlight: 1, QueueDepth: 64})
+		defer eng.Close()
+		sess := netrel.NewSession(qosGraph)
+		sess.SetEngine(eng)
+		sess.SetCacheCapacity(0) // every request is a full solve holding the token
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		floodCtx := netrel.WithTenant(context.Background(), "flood")
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := sess.ReliabilityContext(floodCtx, qosTerms, qosOpts...); err != nil {
+						return // queue full / draining: just stop flooding
+					}
+				}
+			}()
+		}
+		lightCtx := netrel.WithTenant(context.Background(), lightTenant)
+		const lightN = 50
+		waits := make([]time.Duration, 0, lightN)
+		lightOpts := append(append([]netrel.Option{}, qosOpts...), netrel.WithTrace())
+		for i := 0; i < lightN; i++ {
+			res, err := sess.ReliabilityContext(lightCtx, qosTerms, lightOpts...)
+			if err != nil {
+				close(stop)
+				wg.Wait()
+				return 0, err
+			}
+			if sp, ok := res.Phases.Span("admission"); ok {
+				waits = append(waits, sp.Duration)
+			}
+		}
+		close(stop)
+		wg.Wait()
+		if len(waits) == 0 {
+			return 0, fmt.Errorf("expt: no admission spans recorded")
+		}
+		sort.Slice(waits, func(i, j int) bool { return waits[i] < waits[j] })
+		return waits[(len(waits)*99+99)/100-1], nil
+	}
+	fifoWait, err := qosWaitP99("flood") // shares the flood's FIFO queue
+	if err != nil {
+		return nil, err
+	}
+	fairWait, err := qosWaitP99("light") // own tenant: weighted-fair grants
+	if err != nil {
+		return nil, err
+	}
+	report.QoSWaitP99FIFONs = float64(fifoWait.Nanoseconds())
+	report.QoSWaitP99FairNs = float64(fairWait.Nanoseconds())
+	report.Rows = append(report.Rows,
+		BenchRow{Name: "qos/contention-fifo", NsPerOp: float64(fifoWait.Nanoseconds()), Runs: 1},
+		BenchRow{Name: "qos/contention-fair", NsPerOp: float64(fairWait.Nanoseconds()), Runs: 1},
+	)
 
 	// --- Concurrent serving throughput: bounded pool vs per-call spawning. ---
 	// The same independent-query stream at a fixed client concurrency, once

@@ -36,6 +36,7 @@ func TestBenchTrajectoryReport(t *testing.T) {
 		"telemetry/untraced", "telemetry/traced",
 		"construction/sequential", "construction/parallel",
 		"batch/sequential", "batch/batched", "plan/sequential", "plan/parallel",
+		"qos/contention-fifo", "qos/contention-fair",
 		"serve/spawning", "serve/pooled"} {
 		if !names[want] {
 			t.Fatalf("missing row %q (have %v)", want, names)
@@ -73,6 +74,11 @@ func TestBenchTrajectoryReport(t *testing.T) {
 	}
 	if report.BatchSpeedup <= 0 {
 		t.Fatalf("batch speedup %v", report.BatchSpeedup)
+	}
+	// Wall-clock waits are noisy on shared runners, so only presence and
+	// positivity are asserted — no fifo/fair ratio.
+	if report.QoSWaitP99FIFONs <= 0 || report.QoSWaitP99FairNs <= 0 {
+		t.Fatalf("qos waits fifo=%v fair=%v", report.QoSWaitP99FIFONs, report.QoSWaitP99FairNs)
 	}
 	if report.ConcurrentInFlight != 8 {
 		t.Fatalf("concurrent in-flight %d, want 8", report.ConcurrentInFlight)

@@ -25,6 +25,19 @@ type Index struct {
 	NumComps int
 }
 
+// RetainedBytes reports the heap bytes the index retains — the accounting
+// a registry's memory-pressure eviction sums per graph. Slice headers and
+// the struct itself are noise next to the per-edge and per-vertex arrays
+// and are ignored. A nil index retains nothing.
+func (idx *Index) RetainedBytes() int64 {
+	if idx == nil {
+		return 0
+	}
+	return int64(len(idx.IsBridge)) + // []bool: 1 byte/edge
+		8*int64(len(idx.Bridges)) + // []int
+		4*int64(len(idx.Comp)) // []int32
+}
+
 // BuildIndex finds all bridges with an iterative Tarjan lowlink DFS
 // (recursion would overflow on road-network-scale graphs) and derives the
 // 2ECCs as the connected components of the bridge-free graph. Parallel

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Registry serves many named graphs over one shared Engine — the
@@ -18,18 +19,34 @@ import (
 // with queries on other graphs. Evicting a graph does not interrupt its
 // in-flight queries — they hold the session and finish normally; the
 // registry merely stops handing it out.
+//
+// SetMaxBytes adds memory governance: when the graphs' summed retained
+// bytes (2ECC indexes + result caches, see Session.RetainedBytes) exceed
+// the ceiling, the registry releases the memory of the
+// least-recently-queried graphs — registrations are kept, only their
+// rebuildable state is dropped, and the next query on a released graph
+// lazily rebuilds it bit-identically.
 type Registry struct {
 	eng *Engine
 
 	mu       sync.RWMutex
 	graphs   map[string]*registryEntry
 	cacheCap int
+	maxBytes int64
+
+	// touchSeq orders graphs by last query for pressure eviction — a
+	// monotonic counter, not a clock, so recency never goes backwards.
+	touchSeq     atomic.Int64
+	memEvictions atomic.Uint64
 }
 
 type registryEntry struct {
 	name   string
 	source string
 	sess   *Session
+	// lastTouch is the registry's touchSeq value at this graph's most
+	// recent Session fetch; pressure eviction releases the smallest first.
+	lastTouch atomic.Int64
 }
 
 // GraphInfo describes one registered graph.
@@ -39,9 +56,13 @@ type GraphInfo struct {
 	Name, Source string
 	// Vertices and Edges give the graph's shape.
 	Vertices, Edges int
-	// IndexBuilt reports whether the 2ECC index has been constructed yet
-	// (it is built lazily on the first query).
+	// IndexBuilt reports whether the 2ECC index is materialized right now
+	// (built lazily on the first query, possibly released since under
+	// memory pressure).
 	IndexBuilt bool
+	// RetainedBytes is the heap this graph retains beyond the graph
+	// itself: index plus result-cache entries.
+	RetainedBytes int64
 }
 
 // ErrGraphNotFound reports a lookup of an unregistered graph name; the
@@ -114,24 +135,102 @@ func (r *Registry) Register(name, source string, g *Graph) error {
 	// The session is still private here, so resizing its cache cannot race
 	// with queries.
 	sess.SetCacheCapacity(r.cacheCap)
-	r.graphs[name] = &registryEntry{
+	e := &registryEntry{
 		name:   name,
 		source: source,
 		sess:   sess,
 	}
+	e.lastTouch.Store(r.touchSeq.Add(1))
+	r.graphs[name] = e
 	return nil
 }
 
 // Session returns the named graph's session (building nothing: the index
-// materializes on the session's first query).
+// materializes on the session's first query). The fetch counts as a touch
+// for memory-pressure recency, and triggers pressure enforcement — under
+// a MaxBytes ceiling, fetching one graph may release the memory of the
+// least-recently-queried others.
 func (r *Registry) Session(name string) (*Session, error) {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
 	e, ok := r.graphs[name]
+	r.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrGraphNotFound, name)
 	}
+	e.lastTouch.Store(r.touchSeq.Add(1))
+	r.enforceBytes(name)
 	return e.sess, nil
+}
+
+// SetMaxBytes sets the registry's retained-memory ceiling: when the
+// graphs' summed retained bytes exceed n, the least-recently-queried
+// graphs' indexes and caches are released (registrations stay; the next
+// query rebuilds lazily and bit-identically). n ≤ 0 disables governance.
+// The ceiling is a pressure target — enforcement runs on Session fetches
+// and registrations, and the graph being fetched is never released, so a
+// single graph larger than n simply stays resident alone.
+func (r *Registry) SetMaxBytes(n int64) {
+	r.mu.Lock()
+	r.maxBytes = n
+	r.mu.Unlock()
+	r.enforceBytes("")
+}
+
+// RetainedBytes sums every registered graph's retained bytes.
+func (r *Registry) RetainedBytes() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var total int64
+	for _, e := range r.graphs {
+		total += e.sess.RetainedBytes()
+	}
+	return total
+}
+
+// MemoryEvictions counts graphs whose memory was released by pressure
+// enforcement since the registry was created.
+func (r *Registry) MemoryEvictions() uint64 { return r.memEvictions.Load() }
+
+// enforceBytes releases least-recently-queried graphs' memory until the
+// summed retained bytes fit under the ceiling, never touching keep (the
+// graph being fetched — releasing it would only force an immediate
+// rebuild). Best-effort: sizes are sampled without holding the registry
+// lock, so concurrent queries may re-grow a released graph; the next
+// enforcement pass sees it again.
+func (r *Registry) enforceBytes(keep string) {
+	r.mu.RLock()
+	max := r.maxBytes
+	if max <= 0 {
+		r.mu.RUnlock()
+		return
+	}
+	type cand struct {
+		e     *registryEntry
+		touch int64
+		bytes int64
+	}
+	var total int64
+	cands := make([]cand, 0, len(r.graphs))
+	for _, e := range r.graphs {
+		b := e.sess.RetainedBytes()
+		total += b
+		if e.name != keep && b > 0 {
+			cands = append(cands, cand{e: e, touch: e.lastTouch.Load(), bytes: b})
+		}
+	}
+	r.mu.RUnlock()
+	if total <= max {
+		return
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].touch < cands[j].touch })
+	for _, c := range cands {
+		if total <= max {
+			break
+		}
+		c.e.sess.ReleaseMemory()
+		r.memEvictions.Add(1)
+		total -= c.bytes
+	}
 }
 
 // Evict removes the named graph, returning false if it was not registered.
@@ -158,11 +257,12 @@ func (r *Registry) List() []GraphInfo {
 	out := make([]GraphInfo, 0, len(r.graphs))
 	for _, e := range r.graphs {
 		out = append(out, GraphInfo{
-			Name:       e.name,
-			Source:     e.source,
-			Vertices:   e.sess.Graph().N(),
-			Edges:      e.sess.Graph().M(),
-			IndexBuilt: e.sess.IndexBuilt(),
+			Name:          e.name,
+			Source:        e.source,
+			Vertices:      e.sess.Graph().N(),
+			Edges:         e.sess.Graph().M(),
+			IndexBuilt:    e.sess.IndexBuilt(),
+			RetainedBytes: e.sess.RetainedBytes(),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

@@ -49,9 +49,15 @@ type Session struct {
 	cache *batch.Cache
 	eng   *Engine
 
-	idxOnce  sync.Once
-	idx      *preprocess.Index
-	idxBuilt atomic.Bool
+	// idx is the lazily built (and releasable) 2ECC index: nil until the
+	// first query, nil again after ReleaseMemory. idxMu serializes builds;
+	// readers go through the pointer without locking. In-flight queries
+	// hold their own *Index reference, so releasing never invalidates a
+	// running query — the old index is garbage-collected when the last
+	// query using it finishes.
+	idx       atomic.Pointer[preprocess.Index]
+	idxMu     sync.Mutex
+	idxBuilds atomic.Uint64
 
 	// Batch planner counters (see PlanStats).
 	planBatches atomic.Uint64
@@ -80,15 +86,26 @@ func newLazySession(g *Graph, eng *Engine) *Session {
 	}
 }
 
-// index returns the 2ECC index, building it on first use. The build is
-// shared via sync.Once: whichever query arrives first constructs the index
-// for everyone, and concurrent queries block until it is ready.
+// index returns the 2ECC index, building it on first use — and again
+// after a ReleaseMemory, which is why this is a double-checked build
+// under a mutex rather than a sync.Once. Whichever query arrives first
+// constructs the index for everyone; concurrent queries block until it is
+// ready. A rebuild is bit-identical to the original (BuildIndex is a
+// deterministic function of topology), so release/rebuild cycles never
+// change results.
 func (s *Session) index() *preprocess.Index {
-	s.idxOnce.Do(func() {
-		s.idx = preprocess.BuildIndex(s.g.internal())
-		s.idxBuilt.Store(true)
-	})
-	return s.idx
+	if idx := s.idx.Load(); idx != nil {
+		return idx
+	}
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	if idx := s.idx.Load(); idx != nil {
+		return idx
+	}
+	idx := preprocess.BuildIndex(s.g.internal())
+	s.idxBuilds.Add(1)
+	s.idx.Store(idx)
+	return idx
 }
 
 // indexContext is the query-path entry to the lazy index: it refuses to
@@ -106,9 +123,34 @@ func (s *Session) indexContext(ctx context.Context) (*preprocess.Index, error) {
 	return s.index(), nil
 }
 
-// IndexBuilt reports whether the 2ECC index has been constructed yet
-// (lazily created sessions build it on the first query).
-func (s *Session) IndexBuilt() bool { return s.idxBuilt.Load() }
+// IndexBuilt reports whether the 2ECC index is currently materialized
+// (lazily created sessions build it on the first query; ReleaseMemory
+// drops it again until the next query).
+func (s *Session) IndexBuilt() bool { return s.idx.Load() != nil }
+
+// IndexBuilds counts 2ECC index constructions over the session's lifetime
+// — 0 or 1 normally, higher when memory-pressure releases forced lazy
+// rebuilds.
+func (s *Session) IndexBuilds() uint64 { return s.idxBuilds.Load() }
+
+// RetainedBytes reports the heap this session retains beyond the graph
+// itself: the 2ECC index (when materialized) plus the result cache's
+// entries. This is what a Registry's MaxBytes pressure accounting sums.
+func (s *Session) RetainedBytes() int64 {
+	return s.idx.Load().RetainedBytes() + s.cache.Bytes()
+}
+
+// ReleaseMemory drops the session's rebuildable memory — the 2ECC index
+// and every cached subproblem result — keeping the session itself
+// registered and queryable. The next query lazily rebuilds the index and
+// re-solves what it needs; both are bit-identical to the pre-release
+// state (the index is a deterministic function of topology, and cached
+// results' seeds derive from their signatures). Safe concurrently with
+// queries: in-flight queries keep their own index reference.
+func (s *Session) ReleaseMemory() {
+	s.idx.Store(nil)
+	s.cache.Clear()
+}
 
 // Graph returns the underlying graph.
 func (s *Session) Graph() *Graph { return s.g }
