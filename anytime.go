@@ -250,7 +250,7 @@ func solveJobsAdaptive(ctx context.Context, exec sampling.Executor, jobs []pipel
 	tr.Annotate(telemetry.AnnotRounds, int64(round))
 	for _, i := range miss {
 		if samplers[i].Remaining() == 0 {
-			cache.Put(batch.Key{Sig: jobs[i].sig, Fingerprint: fp}, results[i])
+			cache.Put(batch.Key{Sig: jobs[i].sig, Fingerprint: fp}, jobs[i].cover, results[i])
 		}
 	}
 	if report != nil {

@@ -71,6 +71,15 @@ func (s *Session) BatchReliability(queries []Query, opts ...Option) ([]*Result, 
 // schedule; a cancelled batch caches nothing, so retrying yields results
 // bit-identical to an uninterrupted run.
 func (s *Session) BatchReliabilityContext(ctx context.Context, queries []Query, opts ...Option) ([]*Result, error) {
+	return s.batchOn(ctx, s.state.Load(), queries, opts)
+}
+
+// batchOn is the batch pipeline body, parameterized on the graph state it
+// runs against: the session's current snapshot for BatchReliability, an
+// ephemeral delta state for WhatIfBatch. The whole batch runs on the one
+// state loaded by the caller, so a concurrent Mutate never splits a batch
+// across snapshots.
+func (s *Session) batchOn(ctx context.Context, st *graphState, queries []Query, opts []Option) ([]*Result, error) {
 	o, err := buildOptions(opts)
 	if err != nil {
 		return nil, err
@@ -99,7 +108,7 @@ func (s *Session) BatchReliabilityContext(ctx context.Context, queries []Query, 
 		resolveStart = time.Now()
 	}
 	for i, q := range queries {
-		rs, err := resolveSpec(s.g, q)
+		rs, err := resolveSpec(st.g, q)
 		if err != nil {
 			return nil, fmt.Errorf("netrel: batch query %d: %w", i, err)
 		}
@@ -128,7 +137,7 @@ func (s *Session) BatchReliabilityContext(ctx context.Context, queries []Query, 
 	var idx *preprocess.Index
 	if needIdx {
 		done := tr.Span(telemetry.PhaseIndex)
-		idx, err = s.indexContext(ctx)
+		idx, err = s.stateIndexContext(ctx, st)
 		done()
 		if err != nil {
 			return nil, err
@@ -148,7 +157,7 @@ func (s *Session) BatchReliabilityContext(ctx context.Context, queries []Query, 
 	}
 	if err := batch.PlanAll(ctx, s.eng.exec(), dd.Distinct(), planWorkers, func(d int) error {
 		rs := specs[dd.First[d]]
-		p, err := planTerminals(ctx, rs.g, rs.ts, o, rs.planIndex(idx))
+		p, err := planTerminals(ctx, rs.g, rs.ts, o, rs.planIndex(idx), st.coverScope(rs))
 		if err != nil {
 			return fmt.Errorf("netrel: batch query %d: %w", dd.First[d], err)
 		}
@@ -169,7 +178,7 @@ func (s *Session) BatchReliabilityContext(ctx context.Context, queries []Query, 
 		}
 		jobs := make([]batch.Job, len(p.jobs))
 		for j, pj := range p.jobs {
-			jobs[j] = batch.Job{G: pj.g, Ts: pj.ts, Sig: pj.sig}
+			jobs[j] = batch.Job{G: pj.g, Ts: pj.ts, Sig: pj.sig, Cover: pj.cover}
 		}
 		jobLists[d] = jobs
 	}
@@ -199,7 +208,7 @@ func (s *Session) BatchReliabilityContext(ctx context.Context, queries []Query, 
 
 	unique := make([]pipelineJob, len(plan.Unique))
 	for u, j := range plan.Unique {
-		unique[u] = pipelineJob{g: j.G, ts: j.Ts, sig: j.Sig}
+		unique[u] = pipelineJob{g: j.G, ts: j.Ts, sig: j.Sig, cover: j.Cover}
 	}
 	solveStart := time.Now()
 	var solved []core.Result

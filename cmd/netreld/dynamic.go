@@ -1,0 +1,286 @@
+// netreld's dynamic-graph endpoints: persistent mutation
+// (PATCH /v1/graphs/{name}/edges), QoS hot-reload (PATCH /v1/graphs/{name})
+// and ephemeral what-if queries (POST /v1/whatif).
+package main
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"netrel"
+	"netrel/internal/telemetry"
+)
+
+// probUpdateJSON, newEdgeJSON and deltaJSON are the wire shape of a
+// netrel.GraphDelta: probability updates on existing edges, removals by
+// edge index, and added edges. Removal and set_prob indices refer to the
+// pre-delta edge order; after a mutation, surviving edges keep their
+// relative order and additions append.
+type probUpdateJSON struct {
+	Edge int     `json:"edge"`
+	P    float64 `json:"p"`
+}
+
+type newEdgeJSON struct {
+	U int     `json:"u"`
+	V int     `json:"v"`
+	P float64 `json:"p"`
+}
+
+type deltaJSON struct {
+	SetProb []probUpdateJSON `json:"set_prob,omitempty"`
+	Remove  []int            `json:"remove,omitempty"`
+	Add     []newEdgeJSON    `json:"add,omitempty"`
+}
+
+func (d deltaJSON) toDelta() netrel.GraphDelta {
+	out := netrel.GraphDelta{Remove: d.Remove}
+	for _, u := range d.SetProb {
+		out.SetProb = append(out.SetProb, netrel.EdgeProbUpdate{Edge: u.Edge, P: u.P})
+	}
+	for _, e := range d.Add {
+		out.Add = append(out.Add, netrel.Edge{U: e.U, V: e.V, P: e.P})
+	}
+	return out
+}
+
+// mutateRequest is the body of PATCH /v1/graphs/{name}/edges: the delta
+// fields inline. At least one field must be non-empty.
+type mutateRequest deltaJSON
+
+// handleMutateGraph applies a persistent delta to a registered graph in
+// place: same name, same session, same registration generation — only the
+// graph version advances. The 2ECC index is maintained incrementally and
+// the result cache keeps every entry whose component the delta did not
+// touch, so post-mutation queries re-solve only the covered subproblems.
+func (s *server) handleMutateGraph(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
+	name := r.PathValue("name")
+	var req mutateRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	delta := deltaJSON(req).toDelta()
+	if delta.Empty() {
+		writeError(w, http.StatusBadRequest,
+			errors.New(`empty delta: give "set_prob", "remove" or "add"`))
+		return
+	}
+	h, err := s.graph(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	tr := telemetry.New()
+	ctx, cancel := s.queryContext(r, name, tr)
+	defer cancel()
+	start := time.Now()
+	stats, err := s.reg.MutateContext(ctx, name, delta)
+	elapsed := time.Since(start)
+	if err != nil {
+		if h.c != nil {
+			h.c.failures.Add(1)
+		}
+		writeError(w, statusFor(err), err)
+		return
+	}
+	if h.c != nil {
+		h.c.mutations.Add(1)
+	}
+	s.recordQuery(h, "mutate", tr, elapsed)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"graph":            name,
+		"version":          stats.Version,
+		"topology_changed": stats.TopologyChanged,
+		"index_updated":    stats.IndexUpdated,
+		"invalidated":      stats.InvalidatedEntries,
+		"kept":             stats.KeptEntries,
+		"duration_ms":      float64(elapsed) / float64(time.Millisecond),
+	})
+}
+
+// patchGraphRequest is the body of PATCH /v1/graphs/{name}: QoS settings
+// updated in place, without re-registration. Pointer fields distinguish
+// "leave unchanged" from an explicit value; quota_rate 0 removes the
+// graph's quota, and quota_burst without quota_rate is rejected (the
+// burst is meaningless without a rate).
+type patchGraphRequest struct {
+	Weight     *int     `json:"weight,omitempty"`
+	QuotaRate  *float64 `json:"quota_rate,omitempty"`
+	QuotaBurst *float64 `json:"quota_burst,omitempty"`
+}
+
+// handlePatchGraph hot-reloads a graph's scheduling weight and cost quota.
+// The new settings apply to the next admission; in-flight and queued
+// requests keep the terms they were admitted under.
+func (s *server) handlePatchGraph(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
+	name := r.PathValue("name")
+	var req patchGraphRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Weight == nil && req.QuotaRate == nil && req.QuotaBurst == nil {
+		writeError(w, http.StatusBadRequest,
+			errors.New(`nothing to update: give "weight", "quota_rate" or "quota_burst"`))
+		return
+	}
+	if req.Weight != nil && *req.Weight < 1 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("weight must be at least 1, got %d", *req.Weight))
+		return
+	}
+	if req.QuotaBurst != nil && req.QuotaRate == nil {
+		writeError(w, http.StatusBadRequest,
+			errors.New(`"quota_burst" needs "quota_rate" in the same request`))
+		return
+	}
+	for field, v := range map[string]*float64{"quota_rate": req.QuotaRate, "quota_burst": req.QuotaBurst} {
+		if v != nil && (*v < 0 || math.IsNaN(*v) || math.IsInf(*v, 0)) {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("%s must be finite and non-negative, got %v", field, *v))
+			return
+		}
+	}
+	h, err := s.graph(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if req.Weight != nil {
+		s.eng.SetTenantWeight(name, *req.Weight)
+	}
+	if req.QuotaRate != nil {
+		burst := 0.0
+		if req.QuotaBurst != nil {
+			burst = *req.QuotaBurst
+		}
+		// rate 0 removes the quota; burst 0 selects one second of refill.
+		s.eng.SetTenantQuota(name, *req.QuotaRate, burst)
+	}
+	ts := s.eng.TenantStats(h.name)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"graph": name,
+		"qos": qosResponse{
+			Weight:          ts.Weight,
+			QuotaRate:       ts.QuotaRate,
+			QuotaBurst:      ts.QuotaBurst,
+			QuotaTokens:     ts.QuotaTokens,
+			QuotaRejected:   ts.RejectedOverQuota,
+			Queued:          ts.Queued,
+			AdmissionWaits:  ts.Waited,
+			AdmissionWaitMS: float64(ts.WaitedNanos) / 1e6,
+		},
+	})
+}
+
+// whatifRequest is the body of POST /v1/whatif: a single query (the
+// queryRequest shape minus streaming) plus the ephemeral "delta" it is
+// answered under. The session is untouched; the result is bit-identical
+// to mutating the graph for real and querying, while every subproblem the
+// delta does not cover is answered from the graph's shared result cache.
+type whatifRequest struct {
+	Graph     string         `json:"graph,omitempty"`
+	Delta     deltaJSON      `json:"delta"`
+	Mode      string         `json:"mode,omitempty"`
+	Terminals []int          `json:"terminals"`
+	Evidence  []evidenceJSON `json:"evidence,omitempty"`
+	Samples   int            `json:"samples,omitempty"`
+	Width     int            `json:"width,omitempty"`
+	Seed      uint64         `json:"seed,omitempty"`
+	Workers   int            `json:"workers,omitempty"`
+	Estimator string         `json:"estimator,omitempty"`
+	Trace     bool           `json:"trace,omitempty"`
+}
+
+func (s *server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
+	var req whatifRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	h, err := s.graph(req.Graph)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	name, sess := h.name, h.sess
+	mode, err := parseMode(req.Mode, false)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Terminals are validated here against the base graph (the vertex set
+	// never changes under a delta); evidence indices refer to the
+	// delta-applied edge order, so they — like the delta itself — are
+	// validated by the library, whose errors map to 400s.
+	if len(req.Terminals) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%v query needs at least one terminal", mode))
+		return
+	}
+	for i, t := range req.Terminals {
+		if t < 0 || t >= sess.Graph().N() {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("%v query: terminals[%d] = %d out of range [0,%d)", mode, i, t, sess.Graph().N()))
+			return
+		}
+	}
+	if len(req.Evidence) > 0 && mode != netrel.ModeConditional {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf(`%v query cannot carry evidence (use mode "conditional")`, mode))
+		return
+	}
+	opts, err := s.options(req.Samples, req.Width, req.Seed, req.Workers, req.Estimator)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Trace {
+		opts = append(opts, netrel.WithTrace())
+	}
+	delta := req.Delta.toDelta()
+	spec := netrel.QuerySpec{Mode: mode, Terminals: req.Terminals, Evidence: toEvidence(req.Evidence)}
+	c := h.c
+	before := sess.CacheStats()
+	tr := telemetry.New()
+	ctx, cancel := s.queryContext(r, name, tr)
+	defer cancel()
+	start := time.Now()
+	res, err := sess.WhatIfContext(ctx, delta, spec, opts...)
+	elapsed := time.Since(start)
+	if err != nil {
+		if c != nil {
+			c.failures.Add(1)
+		}
+		s.logTimeout(ctx, name, "whatif", tr, elapsed, err)
+		writeError(w, statusFor(err), err)
+		return
+	}
+	after := sess.CacheStats()
+	if c != nil {
+		c.whatifs.Add(1)
+		c.countMode(mode, 1)
+	}
+	s.recordQuery(h, "whatif", tr, elapsed)
+	s.logSlow(ctx, name, "whatif", tr, elapsed)
+	// The hit/miss deltas show the cover reuse a what-if is for: on a
+	// warm cache, subproblems outside the delta's components hit.
+	writeJSON(w, http.StatusOK, map[string]any{
+		"graph":            name,
+		"mode":             mode.String(),
+		"topology_changed": delta.TopologyChanged(),
+		"result":           toResponse(res),
+		"cache_hits":       after.Hits - before.Hits,
+		"cache_misses":     after.Misses - before.Misses,
+		"cache":            toCacheResponse(after),
+	})
+}

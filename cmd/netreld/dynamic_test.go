@@ -1,0 +1,231 @@
+package main
+
+// Tests for the dynamic-graph endpoints: persistent mutation, QoS
+// hot-reload, and what-if serving.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"netrel"
+)
+
+func patchJSON(t *testing.T, url, body string, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPatch, url, bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestMutateEndpoint(t *testing.T) {
+	srv, ts := testServer(t)
+	// Warm the cache so the mutation has entries to keep.
+	if code := postJSON(t, ts.URL+"/v1/reliability", `{"terminals":[0,2],"seed":3}`, nil); code != http.StatusOK {
+		t.Fatalf("warm query status %d", code)
+	}
+	var got struct {
+		Graph           string `json:"graph"`
+		Version         uint64 `json:"version"`
+		TopologyChanged bool   `json:"topology_changed"`
+		IndexUpdated    bool   `json:"index_updated"`
+	}
+	code := patchJSON(t, ts.URL+"/v1/graphs/default/edges",
+		`{"set_prob":[{"edge":0,"p":0.5}]}`, &got)
+	if code != http.StatusOK {
+		t.Fatalf("mutate status %d", code)
+	}
+	if got.Version != 1 || got.TopologyChanged || !got.IndexUpdated {
+		t.Fatalf("mutate response %+v", got)
+	}
+	// The mutation is visible: the session's graph carries the new
+	// probability and the post-mutation answer matches a fresh session
+	// over the mutated graph.
+	sess := defaultSession(t, srv)
+	if p := sess.Graph().Edge(0).P; p != 0.5 {
+		t.Fatalf("edge 0 probability %v after mutation", p)
+	}
+	var q struct {
+		Result queryResponse `json:"result"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/reliability", `{"terminals":[0,2],"seed":3}`, &q); code != http.StatusOK {
+		t.Fatalf("post-mutate query status %d", code)
+	}
+	want, err := netrel.NewSession(sess.Graph()).Reliability([]int{0, 2},
+		netrel.WithSamples(1000), netrel.WithSeed(3), netrel.WithMaxWidth(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Result.Reliability != want.Reliability {
+		t.Fatalf("post-mutate %v vs fresh session %v", q.Result.Reliability, want.Reliability)
+	}
+
+	// A topology delta advances the version again.
+	code = patchJSON(t, ts.URL+"/v1/graphs/default/edges",
+		`{"add":[{"u":0,"v":2,"p":0.6}]}`, &got)
+	if code != http.StatusOK || got.Version != 2 || !got.TopologyChanged {
+		t.Fatalf("topology mutate: status %d response %+v", code, got)
+	}
+
+	// Error paths: empty delta, bad delta, unknown graph.
+	if code := patchJSON(t, ts.URL+"/v1/graphs/default/edges", `{}`, nil); code != http.StatusBadRequest {
+		t.Fatalf("empty delta status %d", code)
+	}
+	if code := patchJSON(t, ts.URL+"/v1/graphs/default/edges",
+		`{"set_prob":[{"edge":99,"p":0.5}]}`, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad delta status %d", code)
+	}
+	if code := patchJSON(t, ts.URL+"/v1/graphs/nope/edges",
+		`{"remove":[0]}`, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown graph status %d", code)
+	}
+
+	// The mutation surfaced in stats and metrics.
+	var stats struct {
+		Graphs map[string]struct {
+			Version   uint64 `json:"version"`
+			Mutations uint64 `json:"mutations"`
+		} `json:"graphs"`
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if g := stats.Graphs["default"]; g.Version != 2 || g.Mutations != 2 {
+		t.Fatalf("stats %+v, want version 2 with 2 mutations", stats.Graphs["default"])
+	}
+	_, metrics := getBody(t, ts.URL+"/metrics")
+	for _, series := range []string{
+		`netrel_graph_mutations_total{graph="default"} 2`,
+		`netrel_cache_invalidated_total{graph="default"}`,
+	} {
+		if !strings.Contains(metrics, series) {
+			t.Fatalf("metrics missing %q", series)
+		}
+	}
+}
+
+func TestWhatIfEndpoint(t *testing.T) {
+	srv, ts := testServer(t)
+	if code := postJSON(t, ts.URL+"/v1/reliability", `{"terminals":[0,2],"seed":5}`, nil); code != http.StatusOK {
+		t.Fatalf("warm query status %d", code)
+	}
+	var got struct {
+		Graph           string        `json:"graph"`
+		TopologyChanged bool          `json:"topology_changed"`
+		Result          queryResponse `json:"result"`
+		CacheHits       uint64        `json:"cache_hits"`
+	}
+	code := postJSON(t, ts.URL+"/v1/whatif",
+		`{"delta":{"set_prob":[{"edge":1,"p":0.3}]},"terminals":[0,2],"seed":5}`, &got)
+	if code != http.StatusOK {
+		t.Fatalf("whatif status %d", code)
+	}
+	if got.TopologyChanged {
+		t.Fatal("probability delta reported as topology change")
+	}
+	// Bit-identity: the what-if equals a cold query on the mutated graph.
+	base := defaultSession(t, srv).Graph()
+	mutated, err := base.Apply(netrel.GraphDelta{SetProb: []netrel.EdgeProbUpdate{{Edge: 1, P: 0.3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := netrel.NewSession(mutated).Reliability([]int{0, 2},
+		netrel.WithSamples(1000), netrel.WithSeed(5), netrel.WithMaxWidth(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Result.Reliability != want.Reliability {
+		t.Fatalf("whatif %v vs cold mutated query %v", got.Result.Reliability, want.Reliability)
+	}
+	// The session itself is untouched.
+	if v := defaultSession(t, srv).GraphVersion(); v != 0 {
+		t.Fatalf("whatif advanced the graph version to %d", v)
+	}
+
+	// Error paths.
+	if code := postJSON(t, ts.URL+"/v1/whatif",
+		`{"delta":{"set_prob":[{"edge":99,"p":0.5}]},"terminals":[0,2]}`, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad delta status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/whatif",
+		`{"delta":{},"terminals":[]}`, nil); code != http.StatusBadRequest {
+		t.Fatalf("empty terminals status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/whatif",
+		`{"graph":"nope","delta":{},"terminals":[0]}`, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown graph status %d", code)
+	}
+}
+
+func TestPatchGraphQoS(t *testing.T) {
+	srv, ts := testServer(t)
+	var got struct {
+		Graph string      `json:"graph"`
+		QoS   qosResponse `json:"qos"`
+	}
+	code := patchJSON(t, ts.URL+"/v1/graphs/default",
+		`{"weight":4,"quota_rate":50000,"quota_burst":100000}`, &got)
+	if code != http.StatusOK {
+		t.Fatalf("patch status %d", code)
+	}
+	if got.QoS.Weight != 4 || got.QoS.QuotaRate != 50000 || got.QoS.QuotaBurst != 100000 {
+		t.Fatalf("qos after patch %+v", got.QoS)
+	}
+	ten := srv.eng.TenantStats("default")
+	if ten.Weight != 4 || ten.QuotaRate != 50000 {
+		t.Fatalf("engine tenant %+v", ten)
+	}
+
+	// Weight-only and quota-removal updates work independently.
+	if code := patchJSON(t, ts.URL+"/v1/graphs/default", `{"weight":2}`, &got); code != http.StatusOK || got.QoS.Weight != 2 {
+		t.Fatalf("weight-only patch: status %d qos %+v", code, got.QoS)
+	}
+	if got.QoS.QuotaRate != 50000 {
+		t.Fatalf("weight-only patch disturbed the quota: %+v", got.QoS)
+	}
+	if code := patchJSON(t, ts.URL+"/v1/graphs/default", `{"quota_rate":0}`, nil); code != http.StatusOK {
+		t.Fatalf("quota removal status %d", code)
+	}
+	if ten := srv.eng.TenantStats("default"); ten.QuotaRate != 0 {
+		t.Fatalf("quota not removed: %+v", ten)
+	}
+
+	// Invalid updates are 400s and leave the tenant unchanged.
+	for _, body := range []string{
+		`{}`,
+		`{"weight":0}`,
+		`{"weight":-1}`,
+		`{"quota_rate":-1}`,
+		`{"quota_burst":100}`, // burst without rate
+	} {
+		if code := patchJSON(t, ts.URL+"/v1/graphs/default", body, nil); code != http.StatusBadRequest {
+			t.Fatalf("body %s: status %d, want 400", body, code)
+		}
+	}
+	if code := patchJSON(t, ts.URL+"/v1/graphs/nope", `{"weight":2}`, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown graph status %d", code)
+	}
+	if ten := srv.eng.TenantStats("default"); ten.Weight != 2 {
+		t.Fatalf("invalid patches disturbed the tenant: %+v", ten)
+	}
+}

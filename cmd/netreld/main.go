@@ -27,9 +27,23 @@
 //	POST   /v1/graphs          register {"name":"g2","tsv":"..."} or
 //	                           {"name":"g2","dataset":"Karate","scale":"small"}
 //	DELETE /v1/graphs/{name}   evict a graph
+//	PATCH  /v1/graphs/{name}   hot-reload QoS: {"weight":4,"quota_rate":1e6}
+//	PATCH  /v1/graphs/{name}/edges  mutate in place:
+//	                           {"set_prob":[{"edge":3,"p":0.9}],"remove":[7],"add":[{"u":0,"v":5,"p":0.5}]}
 //	POST   /v1/reliability     {"graph":"g2","terminals":[0,5],"samples":10000}
 //	POST   /v1/batch           {"queries":[{"terminals":[0,5]},...],"samples":1000}
 //	POST   /v1/topk            {"terminals":[0],"k":3,"evidence":[{"edge":2,"up":true}]}
+//	POST   /v1/whatif          {"delta":{"set_prob":[{"edge":3,"p":0.9}]},"terminals":[0,5]}
+//
+// Dynamic graphs: PATCH /v1/graphs/{name}/edges applies a delta
+// (probability updates, removals, additions) to a registered graph in
+// place — the graph version advances, the 2ECC index is maintained
+// incrementally, and the result cache keeps every entry whose component
+// the delta did not touch. POST /v1/whatif answers one query as if a
+// delta had been applied, without applying it: bit-identical to mutating
+// for real and querying cold, but subproblems outside the delta's
+// components are answered from the graph's shared result cache (the
+// response's cache_hits/cache_misses deltas show the reuse).
 //
 // Queries are mode-polymorphic: a query's "mode" is "terminal-set" (the
 // default), "conditional" — terminal-set reliability given "evidence", a
@@ -294,10 +308,12 @@ type defaults struct {
 // queries of each mode were answered (topk counts one per ranking request,
 // not per candidate it expanded into).
 type graphCounters struct {
-	queries  atomic.Uint64 // single queries answered
-	batches  atomic.Uint64 // batch requests answered
-	batchQs  atomic.Uint64 // queries answered inside batches
-	failures atomic.Uint64
+	queries   atomic.Uint64 // single queries answered
+	batches   atomic.Uint64 // batch requests answered
+	batchQs   atomic.Uint64 // queries answered inside batches
+	mutations atomic.Uint64 // PATCH /v1/graphs/{name}/edges applied
+	whatifs   atomic.Uint64 // what-if queries answered
+	failures  atomic.Uint64
 
 	// samplesDrawn counts completion draws across answered requests (from
 	// the request traces); earlyStops the subproblems a target width halted
@@ -472,9 +488,12 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
 	mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
 	mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleEvictGraph)
+	mux.HandleFunc("PATCH /v1/graphs/{name}", s.handlePatchGraph)
+	mux.HandleFunc("PATCH /v1/graphs/{name}/edges", s.handleMutateGraph)
 	mux.HandleFunc("POST /v1/reliability", s.handleReliability)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/topk", s.handleTopK)
+	mux.HandleFunc("POST /v1/whatif", s.handleWhatIf)
 	return s.instrument(mux)
 }
 
@@ -613,10 +632,18 @@ type qosResponse struct {
 }
 
 type graphStatsResponse struct {
-	Source     string `json:"source"`
-	Vertices   int    `json:"vertices"`
-	Edges      int    `json:"edges"`
-	IndexBuilt bool   `json:"index_built"`
+	Source   string `json:"source"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	// Version counts the mutations applied since registration; Mutations
+	// and WhatIfQueries count the dynamic-graph requests answered, and
+	// CacheInvalidated the result-cache entries dropped by mutations'
+	// cover invalidation.
+	Version          uint64 `json:"version"`
+	Mutations        uint64 `json:"mutations"`
+	WhatIfQueries    uint64 `json:"whatif_queries"`
+	CacheInvalidated uint64 `json:"cache_invalidated"`
+	IndexBuilt       bool   `json:"index_built"`
 	// RetainedBytes is the heap held by the graph's 2ECC index and result
 	// cache; IndexBuilds counts index constructions (>1 means
 	// memory-pressure releases forced lazy rebuilds).
@@ -946,15 +973,18 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		sess := h.sess
 		ts := s.eng.TenantStats(info.Name)
 		g := graphStatsResponse{
-			Source:        info.Source,
-			Vertices:      info.Vertices,
-			Edges:         info.Edges,
-			IndexBuilt:    info.IndexBuilt,
-			RetainedBytes: info.RetainedBytes,
-			IndexBuilds:   sess.IndexBuilds(),
-			Cache:         toCacheResponse(sess.CacheStats()),
-			Planner:       toPlannerResponse(sess.PlanStats()),
-			PhaseSeconds:  s.phaseSeconds(info.Name),
+			Source:           info.Source,
+			Vertices:         info.Vertices,
+			Edges:            info.Edges,
+			Version:          info.Version,
+			Mutations:        sess.Mutations(),
+			CacheInvalidated: sess.CacheInvalidations(),
+			IndexBuilt:       info.IndexBuilt,
+			RetainedBytes:    info.RetainedBytes,
+			IndexBuilds:      sess.IndexBuilds(),
+			Cache:            toCacheResponse(sess.CacheStats()),
+			Planner:          toPlannerResponse(sess.PlanStats()),
+			PhaseSeconds:     s.phaseSeconds(info.Name),
 			QoS: qosResponse{
 				Weight:          ts.Weight,
 				QuotaRate:       ts.QuotaRate,
@@ -970,6 +1000,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			g.Queries = c.queries.Load()
 			g.BatchRequests = c.batches.Load()
 			g.BatchedQueries = c.batchQs.Load()
+			g.WhatIfQueries = c.whatifs.Load()
 			g.Failures = c.failures.Load()
 			g.SamplesDrawn = c.samplesDrawn.Load()
 			g.EarlyStops = c.earlyStops.Load()
@@ -1015,6 +1046,7 @@ func (s *server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
 		Source        string `json:"source"`
 		Vertices      int    `json:"vertices"`
 		Edges         int    `json:"edges"`
+		Version       uint64 `json:"version"`
 		IndexBuilt    bool   `json:"index_built"`
 		RetainedBytes int64  `json:"retained_bytes"`
 	}
@@ -1023,7 +1055,7 @@ func (s *server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
 	for i, info := range infos {
 		out[i] = graphInfo{
 			Name: info.Name, Source: info.Source,
-			Vertices: info.Vertices, Edges: info.Edges,
+			Vertices: info.Vertices, Edges: info.Edges, Version: info.Version,
 			IndexBuilt: info.IndexBuilt, RetainedBytes: info.RetainedBytes,
 		}
 	}

@@ -30,9 +30,12 @@ import (
 )
 
 // queryModeLabels are the mode label values of the per-graph query metrics:
-// the three query modes plus "batch" — a batch request is observed once as a
-// unit, since its queries share one plan-and-solve pass.
-var queryModeLabels = []string{"terminal-set", "conditional", "topk", "batch"}
+// the three query modes plus "batch" — a batch request is observed once as
+// a unit, since its queries share one plan-and-solve pass — plus the
+// dynamic-graph requests: "whatif" (ephemeral-delta queries) and "mutate"
+// (persistent deltas, whose latency is dominated by the reindex and
+// invalidate phases).
+var queryModeLabels = []string{"terminal-set", "conditional", "topk", "batch", "whatif", "mutate"}
 
 // graphMetrics holds one graph's pre-created instruments: its latency
 // histograms by mode label, its admission-wait histogram, and the
@@ -162,6 +165,14 @@ func (s *server) registerGraphMetrics(name string, sess *netrel.Session, c *grap
 	counterFn("netrel_early_stops_total",
 		"Subproblems halted by a target width before exhausting their sample schedule.",
 		c.earlyStops.Load)
+	counterFn("netrel_graph_mutations_total",
+		"Persistent graph mutations committed (PATCH /v1/graphs/{name}/edges).",
+		sess.Mutations)
+	counterFn("netrel_whatif_queries_total",
+		"What-if queries answered against an ephemeral delta.", c.whatifs.Load)
+	counterFn("netrel_cache_invalidated_total",
+		"Result-cache entries dropped by mutations' cover invalidation.",
+		sess.CacheInvalidations)
 	counterFn("netrel_quota_rejected_total",
 		"Requests rejected because the graph's cost-quota bucket could not cover them.",
 		func() uint64 { return eng.TenantStats(name).RejectedOverQuota })

@@ -15,10 +15,78 @@ type Edge struct {
 
 // Graph is an undirected uncertain graph: every edge exists independently
 // with its own probability. Build one with NewGraph/AddEdge, FromEdges, or
-// ReadGraph.
+// ReadGraph. A Graph handed to a Session or Registry is immutable —
+// dynamic workloads evolve it through Apply (or Session.Mutate), which
+// returns a fresh snapshot with a bumped version, never edits in place.
 type Graph struct {
 	g *ugraph.Graph
+	// version counts Apply steps from the construction snapshot (0). It
+	// is metadata for callers tracking mutation lineage; results depend
+	// only on the graph's content.
+	version uint64
 }
+
+// EdgeProbUpdate retargets one existing edge's probability in a GraphDelta.
+type EdgeProbUpdate struct {
+	// Edge is the index of the edge to update.
+	Edge int
+	// P is the new existence probability, in (0,1].
+	P float64
+}
+
+// GraphDelta is a small edit against a graph: probability updates on
+// existing edges, edge removals by index, and edge additions. Removals and
+// probability updates address edges by their current index; surviving
+// edges keep their relative order and additions append after them, so
+// successive deltas compose predictably.
+type GraphDelta struct {
+	// SetProb updates existing edges' probabilities. Targets must be
+	// distinct, in range, and not also removed.
+	SetProb []EdgeProbUpdate
+	// Remove lists distinct edge indices to delete.
+	Remove []int
+	// Add appends new edges (no self-loops, probabilities in (0,1]).
+	Add []Edge
+}
+
+// Empty reports whether the delta changes nothing.
+func (d GraphDelta) Empty() bool {
+	return len(d.SetProb) == 0 && len(d.Remove) == 0 && len(d.Add) == 0
+}
+
+// TopologyChanged reports whether the delta edits the edge set rather than
+// probabilities only. Probability-only deltas are the cheap case
+// everywhere: the 2ECC index survives verbatim.
+func (d GraphDelta) TopologyChanged() bool {
+	return len(d.Remove) > 0 || len(d.Add) > 0
+}
+
+func (d GraphDelta) internal() ugraph.Delta {
+	var out ugraph.Delta
+	for _, u := range d.SetProb {
+		out.SetProb = append(out.SetProb, ugraph.ProbUpdate{Edge: u.Edge, P: u.P})
+	}
+	out.Remove = append(out.Remove, d.Remove...)
+	for _, e := range d.Add {
+		out.Add = append(out.Add, ugraph.Edge{U: e.U, V: e.V, P: e.P})
+	}
+	return out
+}
+
+// Apply validates d and returns the edited graph as a new snapshot with
+// version g.Version()+1; g itself is never modified. An empty delta
+// yields a plain (version-bumped) clone.
+func (g *Graph) Apply(d GraphDelta) (*Graph, error) {
+	ng, _, err := ugraph.ApplyDelta(g.g, d.internal())
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: ng, version: g.version + 1}, nil
+}
+
+// Version returns how many Apply steps produced this snapshot (0 for a
+// freshly constructed graph).
+func (g *Graph) Version() uint64 { return g.version }
 
 // NewGraph returns an empty uncertain graph over n vertices 0..n-1.
 func NewGraph(n int) *Graph {

@@ -25,11 +25,13 @@ import (
 )
 
 // Job is one decomposed subproblem: a transformed subgraph, its terminal
-// set, and the canonical signature identifying it.
+// set, the canonical signature identifying it, and the invalidation cover
+// its cached result will carry.
 type Job struct {
-	G   *ugraph.Graph
-	Ts  ugraph.Terminals
-	Sig preprocess.Signature
+	G     *ugraph.Graph
+	Ts    ugraph.Terminals
+	Sig   preprocess.Signature
+	Cover Cover
 }
 
 // Plan is the deduplicated schedule for a batch of queries.

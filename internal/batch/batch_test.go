@@ -87,12 +87,12 @@ func TestCacheLRUAndStats(t *testing.T) {
 	if _, ok := c.Get(k(1)); ok {
 		t.Fatal("empty cache hit")
 	}
-	c.Put(k(1), core.Result{Estimate: 0.1})
-	c.Put(k(2), core.Result{Estimate: 0.2})
+	c.Put(k(1), Cover{}, core.Result{Estimate: 0.1})
+	c.Put(k(2), Cover{}, core.Result{Estimate: 0.2})
 	if r, ok := c.Get(k(1)); !ok || r.Estimate != 0.1 {
 		t.Fatal("lost entry 1")
 	}
-	c.Put(k(3), core.Result{Estimate: 0.3}) // evicts 2 (1 was just used)
+	c.Put(k(3), Cover{}, core.Result{Estimate: 0.3}) // evicts 2 (1 was just used)
 	if _, ok := c.Get(k(2)); ok {
 		t.Fatal("LRU evicted the wrong entry")
 	}
@@ -111,7 +111,7 @@ func TestCacheLRUAndStats(t *testing.T) {
 func TestCacheFingerprintSeparatesOptionSets(t *testing.T) {
 	c := NewCache(8)
 	sig := preprocess.Signature{Hi: 5, Lo: 9}
-	c.Put(Key{Sig: sig, Fingerprint: 1}, core.Result{Estimate: 0.25})
+	c.Put(Key{Sig: sig, Fingerprint: 1}, Cover{}, core.Result{Estimate: 0.25})
 	if _, ok := c.Get(Key{Sig: sig, Fingerprint: 2}); ok {
 		t.Fatal("different option fingerprints must not share results")
 	}
@@ -122,7 +122,7 @@ func TestNilCacheIsDisabled(t *testing.T) {
 	if c != nil {
 		t.Fatal("capacity 0 should return a nil (disabled) cache")
 	}
-	c.Put(Key{}, core.Result{})
+	c.Put(Key{}, Cover{}, core.Result{})
 	if _, ok := c.Get(Key{}); ok {
 		t.Fatal("nil cache returned a hit")
 	}
@@ -140,7 +140,7 @@ func TestCacheConcurrentAccess(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				k := Key{Sig: preprocess.Signature{Hi: uint64(i % 32)}}
-				c.Put(k, core.Result{Estimate: float64(i)})
+				c.Put(k, Cover{}, core.Result{Estimate: float64(i)})
 				c.Get(k)
 			}
 		}(w)

@@ -29,11 +29,23 @@ type Stats struct {
 	Bytes int64
 }
 
+// Cover locates a cached result in its graph's dynamic-invalidation
+// space: the registry generation of the graph's topology and the 2ECC
+// component the subproblem was cut from. A mutation drops exactly the
+// entries whose component it touched; untagged entries (Valid false —
+// conditioned specs, extension-disabled solves, ephemeral what-if jobs)
+// are covered by nothing and dropped on every mutation.
+type Cover struct {
+	Gen   uint64
+	Comp  int32
+	Valid bool
+}
+
 // entryBytes is the heap cost of one cached result: the entry (key +
-// result value), its list.Element, and an estimate of the map bucket slot
-// (key copy + pointer + bucket overhead ≈ 2× the key). core.Result is a
-// fixed-size value (no slices or maps), so this is a compile-time
-// constant, and Bytes is exact arithmetic, not a heap walk.
+// cover + result value), its list.Element, and an estimate of the map
+// bucket slot (key copy + pointer + bucket overhead ≈ 2× the key).
+// core.Result is a fixed-size value (no slices or maps), so this is a
+// compile-time constant, and Bytes is exact arithmetic, not a heap walk.
 const entryBytes = int64(unsafe.Sizeof(entry{})) +
 	int64(unsafe.Sizeof(list.Element{})) +
 	2*int64(unsafe.Sizeof(Key{})) + 8
@@ -51,8 +63,9 @@ type Cache struct {
 }
 
 type entry struct {
-	key Key
-	res core.Result
+	key   Key
+	cover Cover
+	res   core.Result
 }
 
 // NewCache returns an LRU cache holding up to capacity results; capacity
@@ -86,10 +99,11 @@ func (c *Cache) Get(k Key) (core.Result, bool) {
 	return el.Value.(*entry).res, true
 }
 
-// Put stores the result for k, evicting the least recently used entry when
-// the cache is full. Storing an existing key refreshes its recency (the
-// value is identical by construction: solves are deterministic per key).
-func (c *Cache) Put(k Key, res core.Result) {
+// Put stores the result for k under its invalidation cover, evicting the
+// least recently used entry when the cache is full. Storing an existing
+// key refreshes its recency and cover (the value is identical by
+// construction: solves are deterministic per key).
+func (c *Cache) Put(k Key, cover Cover, res core.Result) {
 	if c == nil {
 		return
 	}
@@ -97,15 +111,46 @@ func (c *Cache) Put(k Key, res core.Result) {
 	defer c.mu.Unlock()
 	if el, ok := c.items[k]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*entry).res = res
+		e := el.Value.(*entry)
+		e.cover = cover
+		e.res = res
 		return
 	}
-	c.items[k] = c.ll.PushFront(&entry{key: k, res: res})
+	c.items[k] = c.ll.PushFront(&entry{key: k, cover: cover, res: res})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*entry).key)
 	}
+}
+
+// Invalidate walks every entry through remap: entries for which remap
+// returns ok=false are dropped, survivors take the returned (retargeted)
+// cover. This is memory hygiene, not correctness — keys are content
+// signatures, so a stale entry can never be wrongly hit; dropping it just
+// reclaims memory a mutated graph can no longer reach. Returns how many
+// entries were dropped and kept.
+func (c *Cache) Invalidate(remap func(Cover) (Cover, bool)) (dropped, kept int) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*entry)
+		nc, ok := remap(e.cover)
+		if !ok {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+			dropped++
+			continue
+		}
+		e.cover = nc
+		kept++
+	}
+	return dropped, kept
 }
 
 // Stats snapshots hit/miss counters and occupancy.

@@ -36,6 +36,7 @@ func TestBenchTrajectoryReport(t *testing.T) {
 		"telemetry/untraced", "telemetry/traced",
 		"construction/sequential", "construction/parallel",
 		"batch/sequential", "batch/batched", "plan/sequential", "plan/parallel",
+		"whatif/rebuild", "whatif/incremental",
 		"qos/contention-fifo", "qos/contention-fair",
 		"serve/spawning", "serve/pooled"} {
 		if !names[want] {
@@ -74,6 +75,11 @@ func TestBenchTrajectoryReport(t *testing.T) {
 	}
 	if report.BatchSpeedup <= 0 {
 		t.Fatalf("batch speedup %v", report.BatchSpeedup)
+	}
+	// CI asserts the ≥ 1.5 acceptance bar on the real artifact; local runs
+	// only require positivity (wall clock on a loaded machine is noisy).
+	if report.WhatIfSpeedup <= 0 {
+		t.Fatalf("what-if speedup %v", report.WhatIfSpeedup)
 	}
 	// Wall-clock waits are noisy on shared runners, so only presence and
 	// positivity are asserted — no fifo/fair ratio.

@@ -1,0 +1,184 @@
+package preprocess
+
+import (
+	"math/rand"
+	"testing"
+
+	"netrel/internal/ugraph"
+)
+
+// randSparseGraph makes a graph with a bridge-rich structure: a few random
+// cycles plus random tree edges plus a couple of parallel edges, so deltas
+// hit bridges, non-bridges, and component boundaries alike.
+func randSparseGraph(rng *rand.Rand) *ugraph.Graph {
+	n := 6 + rng.Intn(20)
+	g := ugraph.New(n)
+	m := n + rng.Intn(n)
+	for i := 0; i < m; i++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if _, err := g.AddEdge(u, v, 0.1+0.9*rng.Float64()*0.99); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+func randDelta(rng *rand.Rand, g *ugraph.Graph) ugraph.Delta {
+	var d ugraph.Delta
+	m := g.M()
+	if m > 0 && rng.Intn(2) == 0 {
+		seen := map[int]bool{}
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			e := rng.Intn(m)
+			if !seen[e] {
+				seen[e] = true
+				d.SetProb = append(d.SetProb, ugraph.ProbUpdate{Edge: e, P: 0.05 + 0.9*rng.Float64()})
+			}
+		}
+	}
+	if m > 0 && rng.Intn(2) == 0 {
+		seen := map[int]bool{}
+		for _, u := range d.SetProb {
+			seen[u.Edge] = true
+		}
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			e := rng.Intn(m)
+			if !seen[e] {
+				seen[e] = true
+				d.Remove = append(d.Remove, e)
+			}
+		}
+	}
+	if rng.Intn(2) == 0 {
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			u := rng.Intn(g.N())
+			v := rng.Intn(g.N())
+			if u != v {
+				d.Add = append(d.Add, ugraph.Edge{U: u, V: v, P: 0.05 + 0.9*rng.Float64()})
+			}
+		}
+	}
+	return d
+}
+
+// TestUpdateMatchesRebuild is the bit-identity backbone: across many random
+// graphs and deltas — probability-only, removals (including multi-removal
+// splits), additions (including cross-tree merges and parallel re-adds of
+// bridges), and mixes — the incrementally maintained index must equal a
+// cold BuildIndex of the mutated graph exactly, labels included.
+func TestUpdateMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 500; iter++ {
+		g := randSparseGraph(rng)
+		idx := BuildIndex(g)
+		d := randDelta(rng, g)
+		ng, oldToNew, err := ugraph.ApplyDelta(g, d)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		up := idx.Update(g, ng, d, oldToNew)
+		want := BuildIndex(ng)
+		got := up.Index
+		if got.NumComps != want.NumComps {
+			t.Fatalf("iter %d: NumComps=%d, want %d (delta %+v)", iter, got.NumComps, want.NumComps, d)
+		}
+		for v := range want.Comp {
+			if got.Comp[v] != want.Comp[v] {
+				t.Fatalf("iter %d: Comp[%d]=%d, want %d (delta %+v)", iter, v, got.Comp[v], want.Comp[v], d)
+			}
+		}
+		for e := range want.IsBridge {
+			if got.IsBridge[e] != want.IsBridge[e] {
+				t.Fatalf("iter %d: IsBridge[%d]=%v, want %v (delta %+v)", iter, e, got.IsBridge[e], want.IsBridge[e], d)
+			}
+		}
+		if len(got.Bridges) != len(want.Bridges) {
+			t.Fatalf("iter %d: %d bridges, want %d", iter, len(got.Bridges), len(want.Bridges))
+		}
+		for i := range want.Bridges {
+			if got.Bridges[i] != want.Bridges[i] {
+				t.Fatalf("iter %d: Bridges[%d]=%d, want %d", iter, i, got.Bridges[i], want.Bridges[i])
+			}
+		}
+		if d.TopologyChanged() != up.TopologyChanged {
+			t.Fatalf("iter %d: TopologyChanged=%v", iter, up.TopologyChanged)
+		}
+		if !d.TopologyChanged() && got != idx {
+			t.Fatalf("iter %d: probability-only delta replaced the index", iter)
+		}
+		// CompMap invariants: -1 exactly for touched components; untouched
+		// components map onto a component with the same vertex set.
+		if len(up.CompMap) != idx.NumComps || len(up.Touched) != idx.NumComps {
+			t.Fatalf("iter %d: CompMap/Touched sized %d/%d, want %d", iter, len(up.CompMap), len(up.Touched), idx.NumComps)
+		}
+		for c := 0; c < idx.NumComps; c++ {
+			if (up.CompMap[c] < 0) != up.Touched[c] {
+				t.Fatalf("iter %d: comp %d CompMap=%d Touched=%v", iter, c, up.CompMap[c], up.Touched[c])
+			}
+			if up.Touched[c] {
+				continue
+			}
+			for v := range idx.Comp {
+				if (idx.Comp[v] == int32(c)) != (got.Comp[v] == up.CompMap[c]) {
+					t.Fatalf("iter %d: untouched comp %d→%d lost vertex %d", iter, c, up.CompMap[c], v)
+				}
+			}
+		}
+	}
+}
+
+// TestUpdateBridgeRules pins the hand-checkable dynamic rules.
+func TestUpdateBridgeRules(t *testing.T) {
+	// Two triangles joined by a bridge: comps {0,1,2} and {3,4,5}.
+	g := ugraph.New(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3}} {
+		if _, err := g.AddEdge(e[0], e[1], 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idx := BuildIndex(g)
+	if !idx.IsBridge[6] || idx.NumComps != 2 {
+		t.Fatalf("seed index unexpected: bridges=%v comps=%d", idx.Bridges, idx.NumComps)
+	}
+
+	apply := func(d ugraph.Delta) *IndexUpdate {
+		t.Helper()
+		ng, oldToNew, err := ugraph.ApplyDelta(g, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return idx.Update(g, ng, d, oldToNew)
+	}
+
+	// Bridge probability change touches nothing.
+	up := apply(ugraph.Delta{SetProb: []ugraph.ProbUpdate{{Edge: 6, P: 0.9}}})
+	if up.Touched[0] || up.Touched[1] || up.Index != idx {
+		t.Fatalf("bridge prob change touched comps: %+v", up.Touched)
+	}
+	// Non-bridge probability change touches exactly its component.
+	up = apply(ugraph.Delta{SetProb: []ugraph.ProbUpdate{{Edge: 0, P: 0.9}}})
+	c0 := idx.Comp[0]
+	if !up.Touched[c0] || up.Touched[1-c0] {
+		t.Fatalf("non-bridge prob change touched %+v, want only comp %d", up.Touched, c0)
+	}
+	// Parallel re-add over the bridge merges both components.
+	up = apply(ugraph.Delta{Add: []ugraph.Edge{{U: 2, V: 3, P: 0.5}}})
+	if !up.Touched[0] || !up.Touched[1] || up.Index.NumComps != 1 {
+		t.Fatalf("bridge re-add: touched=%+v comps=%d", up.Touched, up.Index.NumComps)
+	}
+	// Removing the bridge touches nothing and keeps both components.
+	up = apply(ugraph.Delta{Remove: []int{6}})
+	if up.Touched[0] || up.Touched[1] || up.Index.NumComps != 2 {
+		t.Fatalf("bridge removal: touched=%+v comps=%d", up.Touched, up.Index.NumComps)
+	}
+	// Removing a triangle edge splits nothing but promotes the survivors
+	// to bridges and touches that component only.
+	up = apply(ugraph.Delta{Remove: []int{0}})
+	if !up.Touched[c0] || up.Touched[1-c0] {
+		t.Fatalf("triangle-edge removal touched %+v", up.Touched)
+	}
+}

@@ -30,6 +30,11 @@ type Subproblem struct {
 	// mean byte-identical solver inputs, which is what batch planners and
 	// result caches key on.
 	Sig Signature
+	// Comp is the 2ECC id (in the index used for the decomposition) this
+	// subproblem was cut from — the cover key for dynamic-graph cache
+	// invalidation: a delta invalidates exactly the cached results whose
+	// component it touched.
+	Comp int32
 }
 
 // Result is the outcome of the extension technique:
@@ -356,6 +361,7 @@ func buildSubproblem(g *ugraph.Graph, idx *Index, c int32, verts []int, terms []
 		VertexMap:            outMap,
 		EdgesBeforeTransform: before,
 		Sig:                  Sign(sg, ts2),
+		Comp:                 c,
 	}, nil
 }
 

@@ -52,6 +52,12 @@ const (
 	// PhaseCombine is the recombination of per-subproblem results into
 	// final answers.
 	PhaseCombine
+	// PhaseInvalidate is cover-based result-cache invalidation during a
+	// graph mutation.
+	PhaseInvalidate
+	// PhaseReindex is incremental 2ECC index maintenance across a graph
+	// mutation or an ephemeral what-if delta.
+	PhaseReindex
 	// NumPhases bounds the Phase enum; it is not a phase.
 	NumPhases
 )
@@ -60,6 +66,7 @@ const (
 // format, and the netrel_phase_seconds_total metric label do.
 var phaseNames = [NumPhases]string{
 	"admission", "condition", "index", "plan", "construct", "sample", "combine",
+	"invalidate", "reindex",
 }
 
 // String names the phase ("admission", "plan", …).

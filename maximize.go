@@ -1,0 +1,209 @@
+// Greedy reliability maximization: which edges should be upgraded to make
+// the terminals most reliable? (Ke, Khan, Bonchi, "Reliability
+// Maximization in Uncertain Graphs" — served here as repeated what-if
+// probes through the deduplicated batch path.)
+package netrel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"netrel/internal/batch"
+	"netrel/internal/core"
+	"netrel/internal/telemetry"
+)
+
+// UpgradeBudget configures MaximizeReliability: how many edges may be
+// upgraded, to what probability, and from which candidate pool.
+type UpgradeBudget struct {
+	// MaxEdges is the number of upgrades to select (the greedy rounds).
+	MaxEdges int
+	// NewProb is the probability an upgraded edge is raised to, in (0,1].
+	// Edges already at or above it are not candidates.
+	NewProb float64
+	// Candidates optionally restricts the pool to these edge indices;
+	// empty means every edge. Indices must be in range.
+	Candidates []int
+}
+
+// UpgradeStep is one selected upgrade: the chosen edge and the query
+// result with every upgrade so far (this one included) applied.
+type UpgradeStep struct {
+	Edge   int
+	Result *Result
+}
+
+// UpgradePlan is MaximizeReliability's outcome: the greedy upgrade
+// sequence, the result before any upgrade, and the result after all of
+// them (Base when no step was possible).
+type UpgradePlan struct {
+	Base  *Result
+	Steps []UpgradeStep
+	Final *Result
+}
+
+// ErrUpgradeBudget reports an invalid UpgradeBudget.
+var ErrUpgradeBudget = errors.New("netrel: invalid upgrade budget")
+
+// MaximizeReliability greedily selects up to budget.MaxEdges edge
+// upgrades maximizing spec's reliability. See MaximizeReliabilityContext.
+func (s *Session) MaximizeReliability(spec QuerySpec, budget UpgradeBudget, opts ...Option) (*UpgradePlan, error) {
+	return s.MaximizeReliabilityContext(context.Background(), spec, budget, opts...)
+}
+
+// MaximizeReliabilityContext runs greedy reliability maximization on the
+// session's current snapshot (which it never modifies): each round scores
+// every remaining candidate upgrade as one cheap what-if — a
+// probability-only delta whose plans share the base 2ECC index — and all
+// candidates of a round are solved as one deduplicated batch against the
+// shared result cache, so subproblems untouched by any candidate are
+// solved once (or hit the cache outright) and only the components the
+// candidates live in are re-solved per candidate. The round's winner is
+// the candidate with the highest Log10, ties broken by lowest edge index,
+// so the plan is deterministic per seed and bit-identical for any worker
+// count. Each round is one admission unit with two-phase batch pricing.
+func (s *Session) MaximizeReliabilityContext(ctx context.Context, spec QuerySpec, budget UpgradeBudget, opts ...Option) (*UpgradePlan, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if budget.MaxEdges < 1 {
+		return nil, fmt.Errorf("%w: MaxEdges %d", ErrUpgradeBudget, budget.MaxEdges)
+	}
+	if !(budget.NewProb > 0 && budget.NewProb <= 1) {
+		return nil, fmt.Errorf("%w: NewProb %v outside (0,1]", ErrUpgradeBudget, budget.NewProb)
+	}
+	st := s.state.Load()
+	g := st.g
+	pool := budget.Candidates
+	if len(pool) == 0 {
+		pool = make([]int, g.M())
+		for i := range pool {
+			pool[i] = i
+		}
+	} else {
+		for _, e := range pool {
+			if e < 0 || e >= g.M() {
+				return nil, fmt.Errorf("%w: candidate edge %d with m=%d", ErrUpgradeBudget, e, g.M())
+			}
+		}
+	}
+	ctx, _ = ensureTrace(ctx, o)
+
+	base, err := s.solveSpecOn(ctx, st, spec, opts, false)
+	if err != nil {
+		return nil, err
+	}
+	plan := &UpgradePlan{Base: base, Final: base}
+
+	chosen := make(map[int]bool, budget.MaxEdges)
+	upgrades := make([]EdgeProbUpdate, 0, budget.MaxEdges)
+	for len(plan.Steps) < budget.MaxEdges {
+		var cands []int
+		for _, e := range pool {
+			if !chosen[e] && g.Edge(e).P < budget.NewProb {
+				cands = append(cands, e)
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		results, err := s.scoreUpgrades(ctx, st, spec, o, upgrades, cands, budget.NewProb)
+		if err != nil {
+			return nil, err
+		}
+		best := 0
+		for i := 1; i < len(cands); i++ {
+			if results[i].Log10 > results[best].Log10 {
+				best = i
+			}
+		}
+		chosen[cands[best]] = true
+		upgrades = append(upgrades, EdgeProbUpdate{Edge: cands[best], P: budget.NewProb})
+		plan.Steps = append(plan.Steps, UpgradeStep{Edge: cands[best], Result: results[best]})
+		plan.Final = results[best]
+	}
+	return plan, nil
+}
+
+// scoreUpgrades answers spec once per candidate, each on the accepted
+// upgrades plus that candidate — one probability-only what-if state per
+// candidate, planned against the shared base index, deduplicated at the
+// subproblem level, and solved in one cache-aware pass.
+func (s *Session) scoreUpgrades(ctx context.Context, st *graphState, spec QuerySpec, o options, upgrades []EdgeProbUpdate, cands []int, newProb float64) ([]*Result, error) {
+	tr := telemetry.FromContext(ctx)
+	admittedCost := planCost(len(cands))
+	release, err := s.eng.admit(ctx, admittedCost)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	idx, err := s.stateIndexContext(ctx, st)
+	if err != nil {
+		return nil, err
+	}
+	// Plan each candidate's variant. The variants differ from the base
+	// graph only in probabilities, so the base index describes them all.
+	plans := make([]*queryPlan, len(cands))
+	jobLists := make([][]batch.Job, len(cands))
+	for i, cand := range cands {
+		delta := GraphDelta{SetProb: append(append([]EdgeProbUpdate(nil), upgrades...), EdgeProbUpdate{Edge: cand, P: newProb})}
+		vg, err := st.g.Apply(delta)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := resolveSpec(vg, spec)
+		if err != nil {
+			return nil, err
+		}
+		p, err := planTerminals(ctx, rs.g, rs.ts, o, rs.planIndex(idx), st.coverScope(rs))
+		if err != nil {
+			return nil, err
+		}
+		plans[i] = p
+		if !p.done {
+			jobs := make([]batch.Job, len(p.jobs))
+			for j, pj := range p.jobs {
+				jobs[j] = batch.Job{G: pj.g, Ts: pj.ts, Sig: pj.sig, Cover: pj.cover}
+			}
+			jobLists[i] = jobs
+		}
+	}
+	bp := batch.Build(jobLists)
+	if err := s.eng.reprice(ctx, admittedCost, batchSolveCost(o, len(bp.Unique), len(cands))); err != nil {
+		return nil, err
+	}
+	unique := make([]pipelineJob, len(bp.Unique))
+	for u, j := range bp.Unique {
+		unique[u] = pipelineJob{g: j.G, ts: j.Ts, sig: j.Sig, cover: j.Cover}
+	}
+	solveStart := time.Now()
+	solved, err := solveJobs(ctx, s.eng.exec(), unique, o, false, s.cache)
+	if err != nil {
+		return nil, err
+	}
+	solveDur := time.Since(solveStart)
+
+	combineDone := tr.Span(telemetry.PhaseCombine)
+	out := make([]*Result, len(cands))
+	for i, p := range plans {
+		if !p.done {
+			results := make([]core.Result, len(bp.Refs[i]))
+			for j, u := range bp.Refs[i] {
+				results[j] = solved[u]
+			}
+			combineResults(p.out, results, p.factor)
+			if len(results) == 0 {
+				p.out.Duration = p.planDur
+			} else {
+				p.out.Duration = p.planDur + solveDur
+			}
+		}
+		out[i] = p.cloneOut()
+	}
+	combineDone()
+	return out, nil
+}

@@ -1,6 +1,7 @@
 package netrel
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -56,6 +57,9 @@ type GraphInfo struct {
 	Name, Source string
 	// Vertices and Edges give the graph's shape.
 	Vertices, Edges int
+	// Version counts the mutations applied to the graph since
+	// registration (see Registry.Mutate).
+	Version uint64
 	// IndexBuilt reports whether the 2ECC index is materialized right now
 	// (built lazily on the first query, possibly released since under
 	// memory pressure).
@@ -162,6 +166,36 @@ func (r *Registry) Session(name string) (*Session, error) {
 	return e.sess, nil
 }
 
+// Mutate applies delta to the named graph in place — same name, same
+// session, same registration — via Session.Mutate: the graph version
+// advances, the 2ECC index is maintained incrementally, and only the
+// cache entries the delta's components cover are invalidated. See
+// MutateContext.
+func (r *Registry) Mutate(name string, delta GraphDelta) (*MutationStats, error) {
+	return r.MutateContext(context.Background(), name, delta)
+}
+
+// MutateContext is Mutate with a context for telemetry (the mutation's
+// reindex and invalidate spans land on the context's trace). The
+// mutation counts as a touch for memory-pressure recency, and triggers
+// pressure enforcement afterwards — a mutation that grew the retained
+// index may release colder graphs.
+func (r *Registry) MutateContext(ctx context.Context, name string, delta GraphDelta) (*MutationStats, error) {
+	r.mu.RLock()
+	e, ok := r.graphs[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrGraphNotFound, name)
+	}
+	e.lastTouch.Store(r.touchSeq.Add(1))
+	stats, err := e.sess.MutateContext(ctx, delta)
+	if err != nil {
+		return nil, err
+	}
+	r.enforceBytes(name)
+	return stats, nil
+}
+
 // SetMaxBytes sets the registry's retained-memory ceiling: when the
 // graphs' summed retained bytes exceed n, the least-recently-queried
 // graphs' indexes and caches are released (registrations stay; the next
@@ -261,6 +295,7 @@ func (r *Registry) List() []GraphInfo {
 			Source:        e.source,
 			Vertices:      e.sess.Graph().N(),
 			Edges:         e.sess.Graph().M(),
+			Version:       e.sess.GraphVersion(),
 			IndexBuilt:    e.sess.IndexBuilt(),
 			RetainedBytes: e.sess.RetainedBytes(),
 		})

@@ -352,11 +352,14 @@ func FactoringContext(ctx context.Context, g *Graph, terminals []int, opts ...Op
 }
 
 // pipelineJob is one decomposed subproblem of the Algorithm 1 pipeline,
-// carrying the canonical signature that identifies it across queries.
+// carrying the canonical signature that identifies it across queries and
+// the invalidation cover its cached result will be tagged with (zero —
+// untagged — outside durable base-graph plans).
 type pipelineJob struct {
-	g   *ugraph.Graph
-	ts  ugraph.Terminals
-	sig preprocess.Signature
+	g     *ugraph.Graph
+	ts    ugraph.Terminals
+	sig   preprocess.Signature
+	cover batch.Cover
 }
 
 func xfloatOne() xfloat.F { return xfloat.One }
@@ -462,7 +465,7 @@ func solveJobs(ctx context.Context, exec sampling.Executor, jobs []pipelineJob, 
 		}
 	}
 	for _, i := range miss {
-		cache.Put(batch.Key{Sig: jobs[i].sig, Fingerprint: fp}, results[i])
+		cache.Put(batch.Key{Sig: jobs[i].sig, Fingerprint: fp}, jobs[i].cover, results[i])
 	}
 	return results, nil
 }

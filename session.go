@@ -41,23 +41,28 @@ const DefaultCacheCapacity = 4096
 // spawn-goroutines-per-call mode. The engine changes only scheduling,
 // never results.
 //
-// The Session shares the Graph; the graph must not be modified while the
-// session is in use. Sessions are safe for concurrent queries (the index is
-// built once and read-only afterwards, and the cache is internally locked).
+// The Session shares the Graph; the graph must not be modified directly
+// while the session is in use — dynamic workloads evolve it through
+// Mutate, which installs a fresh immutable snapshot (in-flight queries
+// finish on the snapshot they started with), or probe alternatives with
+// WhatIf, which answers against an ephemeral delta without changing the
+// session at all. Sessions are safe for concurrent queries (each snapshot's
+// index is built once and read-only afterwards, and the cache is
+// internally locked).
 type Session struct {
-	g     *Graph
+	// state is the current graph snapshot plus its (lazily built,
+	// releasable) 2ECC index. Queries load it once and run entirely on
+	// that snapshot; Mutate swaps in a successor under mutMu.
+	state atomic.Pointer[graphState]
 	cache *batch.Cache
 	eng   *Engine
 
-	// idx is the lazily built (and releasable) 2ECC index: nil until the
-	// first query, nil again after ReleaseMemory. idxMu serializes builds;
-	// readers go through the pointer without locking. In-flight queries
-	// hold their own *Index reference, so releasing never invalidates a
-	// running query — the old index is garbage-collected when the last
-	// query using it finishes.
-	idx       atomic.Pointer[preprocess.Index]
-	idxMu     sync.Mutex
+	mutMu     sync.Mutex
 	idxBuilds atomic.Uint64
+	mutations atomic.Uint64
+	// cacheInvalidated counts cache entries dropped by Mutate's
+	// cover-based invalidation over the session's lifetime.
+	cacheInvalidated atomic.Uint64
 
 	// Batch planner counters (see PlanStats).
 	planBatches atomic.Uint64
@@ -67,66 +72,109 @@ type Session struct {
 	planTotal   atomic.Uint64
 }
 
+// graphState is one immutable graph snapshot a session (or an ephemeral
+// what-if) queries: the graph, its lazily built 2ECC index, and the
+// cover-tagging identity of results solved on it.
+type graphState struct {
+	g *Graph
+	// covGen is the cover generation cached results on this state are
+	// tagged with; Mutate bumps it on topology changes so covers tagged
+	// against a superseded index can be recognized and dropped.
+	covGen uint64
+	// durable marks states whose cover tags outlive the request: the
+	// session's own snapshots, and probability-only what-if states (their
+	// topology — hence their component structure — is the session's).
+	// Results solved on non-durable states are cached untagged and
+	// reclaimed at the next mutation.
+	durable bool
+
+	// idx is nil until the first query on this state, and nil again after
+	// ReleaseMemory. idxMu serializes builds; readers go through the
+	// pointer without locking. In-flight queries hold their own *Index
+	// reference, so releasing never invalidates a running query.
+	idx   atomic.Pointer[preprocess.Index]
+	idxMu sync.Mutex
+}
+
+// coverScope is the cover tag half-computed for a plan: the generation to
+// tag with, and whether tagging applies at all (durable state, spec on the
+// base graph rather than a conditioned rewrite).
+type coverScope struct {
+	gen uint64
+	ok  bool
+}
+
+// coverScope returns the tag scope for a resolved spec on this state.
+// Conditioned specs decompose a rewritten graph whose components are not
+// the index's, so their results are cached untagged.
+func (st *graphState) coverScope(rs *resolvedSpec) coverScope {
+	if rs.conditioned || !st.durable {
+		return coverScope{}
+	}
+	return coverScope{gen: st.covGen, ok: true}
+}
+
 // NewSession builds the topology index for g eagerly and returns a query
 // session with a result cache of DefaultCacheCapacity subproblems, backed
 // by DefaultEngine.
 func NewSession(g *Graph) *Session {
 	s := newLazySession(g, DefaultEngine())
-	s.index() // eager, as documented
+	s.stateIndex(s.state.Load()) // eager, as documented
 	return s
 }
 
 // newLazySession defers index construction to the first query — what a
 // Registry wants for graphs registered but not yet queried.
 func newLazySession(g *Graph, eng *Engine) *Session {
-	return &Session{
-		g:     g,
+	s := &Session{
 		cache: batch.NewCache(DefaultCacheCapacity),
 		eng:   eng,
 	}
+	s.state.Store(&graphState{g: g, durable: true})
+	return s
 }
 
-// index returns the 2ECC index, building it on first use — and again
-// after a ReleaseMemory, which is why this is a double-checked build
+// stateIndex returns a state's 2ECC index, building it on first use — and
+// again after a ReleaseMemory, which is why this is a double-checked build
 // under a mutex rather than a sync.Once. Whichever query arrives first
 // constructs the index for everyone; concurrent queries block until it is
 // ready. A rebuild is bit-identical to the original (BuildIndex is a
 // deterministic function of topology), so release/rebuild cycles never
 // change results.
-func (s *Session) index() *preprocess.Index {
-	if idx := s.idx.Load(); idx != nil {
+func (s *Session) stateIndex(st *graphState) *preprocess.Index {
+	if idx := st.idx.Load(); idx != nil {
 		return idx
 	}
-	s.idxMu.Lock()
-	defer s.idxMu.Unlock()
-	if idx := s.idx.Load(); idx != nil {
+	st.idxMu.Lock()
+	defer st.idxMu.Unlock()
+	if idx := st.idx.Load(); idx != nil {
 		return idx
 	}
-	idx := preprocess.BuildIndex(s.g.internal())
+	idx := preprocess.BuildIndex(st.g.internal())
 	s.idxBuilds.Add(1)
-	s.idx.Store(idx)
+	st.idx.Store(idx)
 	return idx
 }
 
-// indexContext is the query-path entry to the lazy index: it refuses to
-// start (or join) the build under an already-cancelled ctx, so a cancelled
-// first query on a lazily-registered graph releases its admission slot
-// without paying for index construction. The check is before the Once, not
-// inside it — the build itself must stay cancellation-free, because it is
-// shared: a co-waiter whose ctx dies mid-build merely returns early on its
-// next ctx check, while the builder's completed index remains usable by
-// every later query.
-func (s *Session) indexContext(ctx context.Context) (*preprocess.Index, error) {
+// stateIndexContext is the query-path entry to the lazy index: it refuses
+// to start (or join) the build under an already-cancelled ctx, so a
+// cancelled first query on a lazily-registered graph releases its
+// admission slot without paying for index construction. The check is
+// before the build, not inside it — the build itself must stay
+// cancellation-free, because it is shared: a co-waiter whose ctx dies
+// mid-build merely returns early on its next ctx check, while the
+// builder's completed index remains usable by every later query.
+func (s *Session) stateIndexContext(ctx context.Context, st *graphState) (*preprocess.Index, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return s.index(), nil
+	return s.stateIndex(st), nil
 }
 
 // IndexBuilt reports whether the 2ECC index is currently materialized
 // (lazily created sessions build it on the first query; ReleaseMemory
 // drops it again until the next query).
-func (s *Session) IndexBuilt() bool { return s.idx.Load() != nil }
+func (s *Session) IndexBuilt() bool { return s.state.Load().idx.Load() != nil }
 
 // IndexBuilds counts 2ECC index constructions over the session's lifetime
 // — 0 or 1 normally, higher when memory-pressure releases forced lazy
@@ -137,7 +185,7 @@ func (s *Session) IndexBuilds() uint64 { return s.idxBuilds.Load() }
 // itself: the 2ECC index (when materialized) plus the result cache's
 // entries. This is what a Registry's MaxBytes pressure accounting sums.
 func (s *Session) RetainedBytes() int64 {
-	return s.idx.Load().RetainedBytes() + s.cache.Bytes()
+	return s.state.Load().idx.Load().RetainedBytes() + s.cache.Bytes()
 }
 
 // ReleaseMemory drops the session's rebuildable memory — the 2ECC index
@@ -148,12 +196,13 @@ func (s *Session) RetainedBytes() int64 {
 // results' seeds derive from their signatures). Safe concurrently with
 // queries: in-flight queries keep their own index reference.
 func (s *Session) ReleaseMemory() {
-	s.idx.Store(nil)
+	s.state.Load().idx.Store(nil)
 	s.cache.Clear()
 }
 
-// Graph returns the underlying graph.
-func (s *Session) Graph() *Graph { return s.g }
+// Graph returns the underlying graph — the current snapshot when the
+// session has been mutated.
+func (s *Session) Graph() *Graph { return s.state.Load().g }
 
 // SetEngine attaches the execution engine used by this session's queries:
 // an engine from NewEngine (typically shared across sessions), or nil for
@@ -279,15 +328,23 @@ func (s *Session) SolveExactContext(ctx context.Context, spec QuerySpec, opts ..
 	return s.solveSpec(ctx, spec, opts, true)
 }
 
-// solveSpec is the single-query pipeline body shared by every session entry
-// point: resolve the spec, admit, pick the planning index, plan, solve.
+// solveSpec is the single-query pipeline body shared by every session
+// entry point; the query runs entirely on the state snapshot loaded here,
+// so a concurrent Mutate never changes a result mid-flight.
 func (s *Session) solveSpec(ctx context.Context, spec QuerySpec, opts []Option, exactOnly bool) (*Result, error) {
+	return s.solveSpecOn(ctx, s.state.Load(), spec, opts, exactOnly)
+}
+
+// solveSpecOn runs one query against an explicit graph state — the
+// session's current snapshot, or an ephemeral what-if state: resolve the
+// spec, admit, pick the planning index, plan, solve.
+func (s *Session) solveSpecOn(ctx context.Context, st *graphState, spec QuerySpec, opts []Option, exactOnly bool) (*Result, error) {
 	o, err := buildOptions(opts)
 	if err != nil {
 		return nil, err
 	}
 	ctx, tr := ensureTrace(ctx, o)
-	rs, err := resolveTimed(s.g, spec, tr)
+	rs, err := resolveTimed(st.g, spec, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -296,11 +353,11 @@ func (s *Session) solveSpec(ctx context.Context, spec QuerySpec, opts []Option, 
 		return nil, err
 	}
 	defer release()
-	idx, err := s.specIndex(ctx, rs)
+	idx, err := s.specIndexOn(ctx, st, rs)
 	if err != nil {
 		return nil, err
 	}
-	return runResolved(ctx, s.eng.exec(), rs, o, exactOnly, idx, s.cache)
+	return runResolved(ctx, s.eng.exec(), rs, o, exactOnly, idx, s.cache, st.coverScope(rs))
 }
 
 // resolveTimed resolves one spec, recording conditional specs' evidence
@@ -321,19 +378,20 @@ func resolveTimed(g *Graph, spec QuerySpec, tr *telemetry.Trace) (*resolvedSpec,
 	return rs, nil
 }
 
-// specIndex returns the planning index for a resolved spec: the session's
-// (lazily built) base-graph index when the spec runs on the base graph, nil
-// for conditioned specs — their rewritten graph gets its own index inside
-// preprocessing. The ctx check matches indexContext's contract either way.
-// Base-graph index time — the shared build, or the wait for a concurrent
-// builder — is recorded under PhaseIndex (≈0 once the index exists);
-// conditioned specs record theirs inside preprocessing instead.
-func (s *Session) specIndex(ctx context.Context, rs *resolvedSpec) (*preprocess.Index, error) {
+// specIndexOn returns the planning index for a resolved spec on a state:
+// the state's (lazily built) base-graph index when the spec runs on the
+// base graph, nil for conditioned specs — their rewritten graph gets its
+// own index inside preprocessing. The ctx check matches
+// stateIndexContext's contract either way. Base-graph index time — the
+// shared build, or the wait for a concurrent builder — is recorded under
+// PhaseIndex (≈0 once the index exists); conditioned specs record theirs
+// inside preprocessing instead.
+func (s *Session) specIndexOn(ctx context.Context, st *graphState, rs *resolvedSpec) (*preprocess.Index, error) {
 	if rs.conditioned {
 		return nil, ctx.Err()
 	}
 	defer telemetry.FromContext(ctx).Span(telemetry.PhaseIndex)()
-	return s.indexContext(ctx)
+	return s.stateIndexContext(ctx, st)
 }
 
 // run executes the Algorithm 1 pipeline for the package-level entry
@@ -350,7 +408,7 @@ func run(ctx context.Context, g *Graph, spec QuerySpec, o options, exactOnly boo
 		return nil, err
 	}
 	defer release()
-	return runResolved(ctx, eng.exec(), rs, o, exactOnly, nil, nil)
+	return runResolved(ctx, eng.exec(), rs, o, exactOnly, nil, nil, coverScope{})
 }
 
 // queryPlan is one query after preprocessing: the jobs still to solve, the
@@ -388,7 +446,7 @@ func (p *queryPlan) cloneOut() *Result {
 // terminal set, options), never on which query asked or how it was
 // scheduled. Cancellation is checked after the preprocess pass (the pass
 // itself is cheap relative to solving); callers check on entry.
-func planTerminals(ctx context.Context, g *ugraph.Graph, ts ugraph.Terminals, o options, idx *preprocess.Index) (*queryPlan, error) {
+func planTerminals(ctx context.Context, g *ugraph.Graph, ts ugraph.Terminals, o options, idx *preprocess.Index, cov coverScope) (*queryPlan, error) {
 	tr := telemetry.FromContext(ctx)
 	start := time.Now()
 	p := &queryPlan{
@@ -398,6 +456,9 @@ func planTerminals(ctx context.Context, g *ugraph.Graph, ts ugraph.Terminals, o 
 	}
 
 	if o.noExtension {
+		// Extension disabled: the single job is the whole graph, which no
+		// component covers — its cached result stays untagged and is
+		// reclaimed at the next mutation.
 		p.jobs = append(p.jobs, pipelineJob{
 			g:   g,
 			ts:  ts,
@@ -434,7 +495,11 @@ func planTerminals(ctx context.Context, g *ugraph.Graph, ts ugraph.Terminals, o 
 	}
 	p.factor = prep.PB
 	for _, sub := range prep.Subproblems {
-		p.jobs = append(p.jobs, pipelineJob{g: sub.G, ts: sub.Terminals, sig: sub.Sig})
+		j := pipelineJob{g: sub.G, ts: sub.Terminals, sig: sub.Sig}
+		if cov.ok {
+			j.cover = batch.Cover{Gen: cov.gen, Comp: sub.Comp, Valid: true}
+		}
+		p.jobs = append(p.jobs, j)
 	}
 	p.planDur = time.Since(start)
 	tr.Add(telemetry.PhasePlan, p.planDur)
@@ -446,11 +511,11 @@ func planTerminals(ctx context.Context, g *ugraph.Graph, ts ugraph.Terminals, o 
 // precomputed for base-graph specs, cache attached). exec supplies the
 // shared pool (nil: standalone spawning); ctx cancels at layer/chunk
 // granularity.
-func runResolved(ctx context.Context, exec sampling.Executor, rs *resolvedSpec, o options, exactOnly bool, idx *preprocess.Index, cache *batch.Cache) (*Result, error) {
+func runResolved(ctx context.Context, exec sampling.Executor, rs *resolvedSpec, o options, exactOnly bool, idx *preprocess.Index, cache *batch.Cache, cov coverScope) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	p, err := planTerminals(ctx, rs.g, rs.ts, o, rs.planIndex(idx))
+	p, err := planTerminals(ctx, rs.g, rs.ts, o, rs.planIndex(idx), cov)
 	if err != nil {
 		return nil, err
 	}

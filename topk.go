@@ -47,8 +47,10 @@ func (s *Session) TopKReliableContext(ctx context.Context, spec QuerySpec, opts 
 	}
 	// Validate the base terminals and evidence up front, against the spec
 	// itself — failing inside the expanded batch would blame a candidate
-	// index the caller never wrote.
-	ts, err := ugraph.NewTerminals(s.g.internal(), spec.Terminals)
+	// index the caller never wrote. The snapshot is loaded once so the
+	// candidate expansion and the validation agree on the vertex count.
+	g := s.Graph().internal()
+	ts, err := ugraph.NewTerminals(g, spec.Terminals)
 	if err != nil {
 		return nil, err
 	}
@@ -56,7 +58,7 @@ func (s *Session) TopKReliableContext(ctx context.Context, spec QuerySpec, opts 
 	for i, ev := range spec.Evidence {
 		obsIn[i] = preprocess.Observation{Edge: ev.Edge, Up: ev.Up}
 	}
-	if _, err := preprocess.NormalizeObservations(s.g.internal(), obsIn); err != nil {
+	if _, err := preprocess.NormalizeObservations(g, obsIn); err != nil {
 		return nil, err
 	}
 
@@ -64,7 +66,7 @@ func (s *Session) TopKReliableContext(ctx context.Context, spec QuerySpec, opts 
 	// candidates are ordinary single-result specs (terminal-set, or
 	// conditional when evidence is present), so the batch's dedup, seeding
 	// and determinism guarantees apply unchanged.
-	inBase := make([]bool, s.g.internal().N())
+	inBase := make([]bool, g.N())
 	for _, t := range ts {
 		inBase[t] = true
 	}
@@ -74,7 +76,7 @@ func (s *Session) TopKReliableContext(ctx context.Context, spec QuerySpec, opts 
 	}
 	var vertices []int
 	var queries []Query
-	for v := 0; v < s.g.internal().N(); v++ {
+	for v := 0; v < g.N(); v++ {
 		if inBase[v] {
 			continue
 		}
